@@ -1,0 +1,93 @@
+"""Ablation C (Sec. III-A / Algorithm 2): the cost of changing the step size.
+
+A nonlinear circuit is driven by an input with sharp piecewise-linear
+edges so the error controllers of both methods must repeatedly shrink and
+re-grow the step.  The quantity of interest is how much *factorization*
+work each method spends per accepted step:
+
+* BENR embeds ``h`` in its Jacobian ``C/h + G``, so every Newton iteration
+  and every step-size change re-factorizes;
+* ER factorizes ``G`` once per accepted step and reuses the Krylov bases
+  when the controller shrinks ``h`` (the scaling-invariance property),
+  so its LU count stays at one per step regardless of rejections.
+
+Report: ``benchmarks/output/ablation_adaptive.txt``.
+"""
+
+import pytest
+
+from repro import PWL, SimOptions, TransientSimulator
+from repro.benchcircuits.inverter_chain import default_nmos, default_pmos
+from repro.circuit.netlist import Circuit
+from repro.reporting.tables import format_table
+
+from conftest import write_report
+
+_ROWS = {}
+
+
+def sharp_edge_circuit():
+    """Two inverter stages driving an RC load, hit by very fast input edges."""
+    ckt = Circuit("sharp_edges")
+    edges = []
+    t = 0.0
+    level = 0.0
+    for k in range(4):
+        t += 0.15e-9
+        edges.append((t, level))
+        level = 1.0 - level
+        edges.append((t + 4e-12, level))
+    ckt.add_vsource("Vin", "in", "0", PWL([(0.0, 0.0)] + edges))
+    ckt.add_vsource("Vdd", "vdd", "0", 1.0)
+    nmos, pmos = default_nmos(), default_pmos()
+    ckt.add_resistor("Rg", "in", "g1", 50.0)
+    ckt.add_capacitor("Cg1", "g1", "0", 1e-15)
+    ckt.add_mosfet("MP1", "n1", "g1", "vdd", "vdd", pmos, w=1e-6, l=1e-7)
+    ckt.add_mosfet("MN1", "n1", "g1", "0", "0", nmos, w=0.5e-6, l=1e-7)
+    ckt.add_resistor("Rw1", "n1", "g2", 100.0)
+    ckt.add_capacitor("Cg2", "g2", "0", 2e-15)
+    ckt.add_mosfet("MP2", "out", "g2", "vdd", "vdd", pmos, w=1e-6, l=1e-7)
+    ckt.add_mosfet("MN2", "out", "g2", "0", "0", nmos, w=0.5e-6, l=1e-7)
+    ckt.add_capacitor("CL", "out", "0", 10e-15)
+    return ckt
+
+
+@pytest.mark.parametrize("method", ["benr", "er"])
+def test_adaptive_stepping_cost(benchmark, method):
+    circuit = sharp_edge_circuit()
+    options = SimOptions(
+        t_stop=0.7e-9, h_init=20e-12, err_budget=5e-6,
+        lte_abstol=1e-6, lte_reltol=1e-4, store_states=False,
+    )
+
+    def run_once():
+        return TransientSimulator(circuit, method, options).run()
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert result.stats.completed, result.stats.failure_reason
+    stats = result.stats
+    _ROWS[result.method] = [
+        result.method, stats.num_steps, stats.num_rejections,
+        stats.num_lu_factorizations,
+        round(stats.num_lu_factorizations / max(stats.num_steps, 1), 2),
+        round(stats.runtime_seconds, 3),
+    ]
+
+
+def test_adaptive_render(benchmark, report_writer):
+    # the render step itself is what gets 'benchmarked' so that this test
+    # still runs under --benchmark-only and persists the report file
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_ROWS) < 2:
+        pytest.skip("per-case benchmarks did not run")
+    text = format_table(
+        ["method", "#steps", "#rejections", "#LU", "#LU per step", "runtime [s]"],
+        [_ROWS[m] for m in ("BENR", "ER")],
+    )
+    report_writer("ablation_adaptive.txt", text)
+    benr = _ROWS["BENR"]
+    er = _ROWS["ER"]
+    # ER: one factorization per accepted step regardless of rejections;
+    # BENR: at least one per Newton iteration, so strictly more per step.
+    assert er[4] <= 1.1
+    assert benr[3] > er[3]

@@ -1,0 +1,61 @@
+"""Fig. 1 regeneration: LU fill-in of C, G and (C/h + G) on post-layout matrices.
+
+The paper's Fig. 1 shows spy plots of the FreeCPU post-extraction matrices
+and of their LU factors; the quantitative content is the non-zero counts,
+which this benchmark regenerates on the FreeCPU-like synthetic system
+(DESIGN.md documents the substitution).  The measured quantity to compare
+against the paper: the factors of G stay close to nnz(G), while the
+factors of (C/h + G) -- BENR's Jacobian -- fill in by an order of magnitude
+or more once coupling capacitances are present.
+
+Report: ``benchmarks/output/fig1_nnz.txt``.
+"""
+
+import pytest
+
+from repro.benchcircuits.freecpu import freecpu_like_system
+from repro.reporting.figures import figure1_nnz_report
+from repro.reporting.tables import format_table
+
+from conftest import write_report
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("coupling_per_node", [0.5, 1.5, 3.0])
+def test_fig1_fill_in(benchmark, coupling_per_node):
+    C, G = freecpu_like_system(n=1500, coupling_per_node=coupling_per_node, seed=7)
+
+    report = benchmark.pedantic(
+        lambda: figure1_nnz_report(C, G, h=1e-12), rounds=1, iterations=1
+    )
+    _ROWS.append([
+        coupling_per_node, report.n, report.nnz_C, report.nnz_G,
+        report.nnz_LU_C, report.nnz_LU_G, report.nnz_LU_ChG,
+        round(report.factor_advantage, 1),
+        round(report.bandwidth_C, 1), round(report.bandwidth_G, 1),
+    ])
+    benchmark.extra_info["factor_advantage"] = report.factor_advantage
+
+    # the paper's structural claims
+    assert report.bandwidth_C > report.bandwidth_G
+    assert report.nnz_LU_ChG > report.nnz_LU_G
+    if coupling_per_node >= 1.5:
+        assert report.factor_advantage > 5.0
+
+
+def test_fig1_render(benchmark, report_writer):
+    # the render step itself is what gets 'benchmarked' so that this test
+    # still runs under --benchmark-only and persists the report file
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("per-case benchmarks did not run")
+    text = format_table(
+        ["coupling/node", "n", "nnz(C)", "nnz(G)", "nnz(LU C)", "nnz(LU G)",
+         "nnz(LU C/h+G)", "LU(C/h+G)/LU(G)", "bw(C)", "bw(G)"],
+        _ROWS,
+    )
+    report_writer("fig1_nnz.txt", text)
+    # fill-in advantage must grow with coupling density
+    advantages = [row[7] for row in _ROWS]
+    assert advantages == sorted(advantages)

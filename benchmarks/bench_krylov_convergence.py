@@ -1,0 +1,115 @@
+"""Ablation A (Sec. IV): standard vs invert vs rational Krylov MEVP convergence.
+
+For a stiff post-layout-like Jacobian pair (C, G) and a sweep of step
+sizes, measure the subspace dimension each MEVP strategy needs to reach
+the paper's epsilon = 1e-7 tolerance (capped at ``MAX_DIM``), and what it
+has to factorize to get there.
+
+Expected shape (paper Sec. IV and the MATEX reference [19]): the rational
+(shift-and-invert) subspace converges in the fewest dimensions but
+factorizes a combined matrix (C + gamma*G); the invert subspace is a close
+second while only factorizing G; the standard subspace needs a much larger
+dimension -- or fails to converge at all -- on stiff C.
+
+Report: ``benchmarks/output/ablation_krylov.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchcircuits.freecpu import freecpu_like_system
+from repro.linalg.invert_krylov import InvertKrylovMEVP
+from repro.linalg.krylov import MEVPStats, StandardKrylovMEVP
+from repro.linalg.rational_krylov import RationalKrylovMEVP
+from repro.linalg.sparse_lu import factorize
+from repro.reporting.tables import format_table
+
+from conftest import write_report
+
+MAX_DIM = 120
+TOL = 1e-7
+STEPS = [1e-11, 1e-10, 1e-9]
+
+_ROWS = []
+
+
+@pytest.fixture(scope="module")
+def system():
+    C, G = freecpu_like_system(n=600, coupling_per_node=2.0, grounded_cap=5e-15, seed=11)
+    # make the system stiff: spread the grounded caps over 3 decades
+    rng = np.random.default_rng(5)
+    scale = 10.0 ** rng.uniform(-1.5, 1.5, size=C.shape[0])
+    import scipy.sparse as sp
+
+    D = sp.diags(scale).tocsc()
+    C = (D @ C @ D).tocsc()
+    v = np.random.default_rng(3).standard_normal(C.shape[0])
+    return C, G, v
+
+
+@pytest.mark.parametrize("h", STEPS)
+def test_krylov_convergence(benchmark, system, h):
+    C, G, v = system
+
+    # dense reference e^{hJ} v (the ablation system is small enough)
+    import scipy.linalg as sla
+
+    J_dense = -np.linalg.solve(C.toarray(), G.toarray())
+    reference = sla.expm(h * J_dense) @ v
+    ref_norm = max(float(np.linalg.norm(reference)), 1e-300)
+
+    def rel_err(vec):
+        return float(np.linalg.norm(vec - reference) / ref_norm)
+
+    def run_once():
+        lu_G = factorize(G)
+        iks_stats = MEVPStats()
+        iks = InvertKrylovMEVP(C, G, lu_G, stats=iks_stats, max_dim=MAX_DIM)
+        iks_basis = iks.build(v, h, tol=TOL)
+
+        # the ablation system has a non-singular (but stiff) C, so the standard
+        # Krylov subspace can be built on the true matrices -- no regularization
+        std_stats = MEVPStats()
+        std = StandardKrylovMEVP(C, G, factorize(C), stats=std_stats,
+                                 max_dim=MAX_DIM)
+        std_result = std.expm_multiply(v, h, tol=TOL)
+
+        rat_stats = MEVPStats()
+        rat = RationalKrylovMEVP(C, G, gamma=h, stats=rat_stats, max_dim=MAX_DIM)
+        rat_result = rat.expm_multiply(v, h, tol=TOL)
+        return iks_basis, std_result, rat_result
+
+    iks_basis, std_result, rat_result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+    iks_err = rel_err(iks_basis.mevp(h))
+    std_err = rel_err(std_result.vector)
+    rat_err = rel_err(rat_result.vector)
+    _ROWS.append([
+        f"{h:g}",
+        iks_basis.dimension, f"{iks_err:.1e}",
+        std_result.dimension if std_result.converged else f">{std_result.dimension}",
+        f"{std_err:.1e}",
+        rat_result.dimension, f"{rat_err:.1e}",
+    ])
+    # the invert and rational subspaces must deliver accurate MEVPs within the
+    # dimension cap; the standard subspace is the one the paper calls out as
+    # unreliable on stiff C (its error is reported, not asserted)
+    assert iks_basis.dimension <= MAX_DIM
+    assert rat_result.converged
+    assert iks_err < 1e-3
+    assert rat_err < 1e-3
+
+
+def test_krylov_render(benchmark, report_writer):
+    # the render step itself is what gets 'benchmarked' so that this test
+    # still runs under --benchmark-only and persists the report file
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("per-case benchmarks did not run")
+    text = format_table(
+        ["h [s]", "invert m (factors G)", "invert rel.err",
+         "standard m (factors C)", "standard rel.err",
+         "rational m (factors C+gamma*G)", "rational rel.err"],
+        _ROWS,
+    )
+    report_writer("ablation_krylov.txt", text)

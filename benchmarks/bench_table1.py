@@ -1,0 +1,109 @@
+"""Table I regeneration: ckt1-ckt8 under BENR, ER and ER-C.
+
+Each (circuit, method) pair is one pytest-benchmark case (a single
+measured round -- a transient run is far too long to repeat).  After all
+cases of a circuit have run, the Table I rows are assembled exactly like
+the paper's table: circuit specification (#N, #Dev, nnzC, nnzG), per
+method the step count, #NRa / #ma, runtime and the speedup over BENR;
+BENR rows that exceed the memory budget render as "OoM" with NA speedups.
+
+The rendered table is written to ``benchmarks/output/table1.txt``.
+
+Expected shape (see EXPERIMENTS.md for measured numbers): ER and ER-C
+complete every case with far fewer LU factorizations and a bounded
+peak factor size; BENR's cost grows with nnzC and it fails on the
+strongly coupled ckt6-ckt8.
+"""
+
+import pytest
+
+from repro import SimOptions, TransientSimulator, compare_runs
+from repro.benchcircuits.testcases import TESTCASE_NAMES, make_ckt
+from repro.reporting.tables import render_table1
+
+from conftest import bench_scale, bench_tstop, write_report
+
+METHODS = ("benr", "er", "er-c")
+
+#: results collected across parameterized cases: {circuit: {method: result}}
+_RESULTS = {}
+_CASES = {}
+
+
+def _get_case(name):
+    if name not in _CASES:
+        case = make_ckt(name, scale=bench_scale())
+        case.t_stop = bench_tstop()
+        _CASES[name] = case
+    return _CASES[name]
+
+
+def _run(case, method):
+    options = SimOptions(
+        t_stop=case.t_stop,
+        h_init=case.h_init,
+        err_budget=1e-3,
+        lte_reltol=5e-3,
+        lte_abstol=1e-5,
+        max_factor_nnz=case.factor_budget,
+        store_states=False,
+    )
+    simulator = TransientSimulator(case.circuit, method=method, options=options)
+    return simulator.run()
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("circuit_name", TESTCASE_NAMES)
+def test_table1_case(benchmark, circuit_name, method):
+    case = _get_case(circuit_name)
+
+    def run_once():
+        return _run(case, method)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    _RESULTS.setdefault(circuit_name, {})[method] = result
+    benchmark.extra_info["circuit"] = circuit_name
+    benchmark.extra_info["method"] = result.method
+    benchmark.extra_info["steps"] = result.stats.num_steps
+    benchmark.extra_info["lu"] = result.stats.num_lu_factorizations
+    benchmark.extra_info["completed"] = result.stats.completed
+
+    # ER / ER-C must complete every case; BENR is allowed (expected) to hit
+    # the memory budget on the strongly coupled ckt6-ckt8.
+    if method in ("er", "er-c"):
+        assert result.stats.completed, result.stats.failure_reason
+
+
+def test_table1_render(benchmark, report_writer):
+    # the render step itself is what gets 'benchmarked' so that this test
+    # still runs under --benchmark-only and persists the report file
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Assemble and persist the full Table I after all cases have run."""
+    comparisons = []
+    for circuit_name in TESTCASE_NAMES:
+        if circuit_name not in _RESULTS:
+            pytest.skip("per-case benchmarks did not run")
+        case = _get_case(circuit_name)
+        runs = [_RESULTS[circuit_name][m] for m in METHODS if m in _RESULTS[circuit_name]]
+        comparisons.append(
+            compare_runs(circuit_name, runs, structure=case.structure().as_dict())
+        )
+    text = render_table1(comparisons)
+    report_writer("table1.txt", text)
+
+    # Shape checks mirroring the paper's qualitative claims.
+    by_name = {c.circuit_name: c for c in comparisons}
+    # (1) BENR exceeds the memory budget on the strongly coupled cases ...
+    for name in ("ckt6", "ckt7", "ckt8"):
+        assert not by_name[name].row_for("BENR")["completed"]
+        # ... while ER still completes them.
+        assert by_name[name].row_for("ER")["completed"]
+    # (2) on every case ER performs (far) fewer LU factorizations than BENR
+    for name in ("ckt1", "ckt3", "ckt4", "ckt5"):
+        benr_row = by_name[name].row_for("BENR")
+        er_row = by_name[name].row_for("ER")
+        if benr_row["completed"]:
+            assert er_row["#LU"] < benr_row["#LU"]
+            # (3) and needs far less factor memory on the coupled cases
+            if name in ("ckt4", "ckt5"):
+                assert er_row["peak_factor_nnz"] < benr_row["peak_factor_nnz"]

@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_SCALE``
+    Size multiplier for the ckt1-ckt8 analogues (default 0.4).  The
+    defaults keep the whole suite at a few minutes on a laptop; raising
+    the scale widens the gap between ER and BENR (the fill-in contrast
+    grows superlinearly) at the cost of longer runs.
+``REPRO_BENCH_TSTOP``
+    Transient horizon in seconds for the Table I runs (default 0.25e-9).
+
+Rendered reports (Table I, Fig. 1, Fig. 2 and the ablations) are written to
+``benchmarks/output/`` so they survive pytest's output capture.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def bench_tstop() -> float:
+    return float(os.environ.get("REPRO_BENCH_TSTOP", "0.25e-9"))
+
+
+def write_report(name: str, text: str) -> Path:
+    """Write a rendered report to benchmarks/output/<name> and echo it."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    return write_report

@@ -1,0 +1,37 @@
+"""Fig. 1 scenario: LU fill-in of C, G and (C/h + G) on post-layout matrices.
+
+Run with::
+
+    python examples/postlayout_fill_in.py
+
+Generates a FreeCPU-like post-extraction system (see DESIGN.md for the
+substitution) and reports the non-zero counts of the matrices and of their
+LU factors -- the quantitative content of the paper's Fig. 1 spy plots.
+The point to observe: ``G``'s factors stay small (narrow bandwidth), while
+the factors of ``C/h + G`` -- the matrix BENR factorizes at every Newton
+iteration -- blow up because the coupling capacitances scatter non-zeros
+far from the diagonal.
+"""
+
+from repro.benchcircuits.freecpu import freecpu_like_system
+from repro.reporting.figures import figure1_nnz_report
+
+
+def main() -> None:
+    for coupling_per_node in (0.5, 1.5, 3.0):
+        C, G = freecpu_like_system(n=1500, coupling_per_node=coupling_per_node, seed=7)
+        report = figure1_nnz_report(C, G, h=1e-12)
+        print(f"--- coupling_per_node = {coupling_per_node} "
+              f"(nnzC/nnzG = {report.nnz_C / report.nnz_G:.2f}) ---")
+        print(report.render())
+        print(f"factors of (C/h + G) are {report.factor_advantage:.1f}x larger "
+              f"than the factors of G\n")
+
+    print("Interpretation: the exponential Rosenbrock-Euler framework only ever")
+    print("factorizes G (one LU per step, reused across step-size changes), so its")
+    print("memory and factorization cost follow the left column; BENR follows the")
+    print("right column and degrades as post-layout coupling densifies C.")
+
+
+if __name__ == "__main__":
+    main()

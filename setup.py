@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (``pip install -e .``).
+
+The environment used for development has no ``wheel`` package, so PEP 660
+editable installs cannot build; this shim lets ``setup.py develop`` based
+editable installs work.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

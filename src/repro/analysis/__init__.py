@@ -1,0 +1,15 @@
+"""Analysis drivers: DC operating point, transient helpers, waveforms, statistics."""
+
+from repro.analysis.dc import DCResult, dc_operating_point
+from repro.analysis.waveform import Signal, compare_waveforms, WaveformComparison
+from repro.analysis.statistics import MethodComparison, compare_runs
+
+__all__ = [
+    "DCResult",
+    "dc_operating_point",
+    "Signal",
+    "compare_waveforms",
+    "WaveformComparison",
+    "MethodComparison",
+    "compare_runs",
+]

@@ -1,0 +1,83 @@
+"""Cross-method run statistics (the Table I machinery).
+
+:func:`compare_runs` lines up several :class:`SimulationResult` objects for
+the same circuit and produces the per-method columns of the paper's
+Table I -- step counts, average Newton iterations, average Krylov
+dimension, runtime and the speedup over a designated baseline (BENR in the
+paper).  A failed baseline (the "Out of Memory" rows) yields ``NA``
+speedups exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.results import SimulationResult
+
+__all__ = ["MethodComparison", "compare_runs"]
+
+
+@dataclass
+class MethodComparison:
+    """One circuit's worth of per-method statistics."""
+
+    circuit_name: str
+    structure: Dict[str, int] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def row_for(self, method: str) -> Dict[str, object]:
+        for row in self.rows:
+            if row["method"] == method:
+                return row
+        raise KeyError(f"no row for method {method!r}")
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        merged = []
+        for row in self.rows:
+            merged.append({"circuit": self.circuit_name, **self.structure, **row})
+        return merged
+
+
+def _speedup(baseline: Optional[SimulationResult], other: SimulationResult):
+    """Speedup of ``other`` over ``baseline`` -- ``None`` means NA (baseline failed)."""
+    if baseline is None or not baseline.stats.completed:
+        return None
+    if not other.stats.completed or other.stats.runtime_seconds <= 0:
+        return None
+    return baseline.stats.runtime_seconds / other.stats.runtime_seconds
+
+
+def compare_runs(
+    circuit_name: str,
+    results: Sequence[SimulationResult],
+    baseline_method: str = "BENR",
+    structure: Optional[Dict[str, int]] = None,
+) -> MethodComparison:
+    """Assemble Table-I style rows from a set of runs on one circuit."""
+    baseline = None
+    for result in results:
+        if result.method == baseline_method:
+            baseline = result
+            break
+
+    comparison = MethodComparison(circuit_name=circuit_name, structure=dict(structure or {}))
+    for result in results:
+        stats = result.stats
+        row: Dict[str, object] = {
+            "method": result.method,
+            "#step": stats.num_steps,
+            "#NRa": round(stats.average_newton_iterations, 2),
+            "#ma": round(stats.average_krylov_dimension, 2),
+            "#LU": stats.num_lu_factorizations,
+            "RT(s)": round(stats.runtime_seconds, 4),
+            "peak_factor_nnz": stats.peak_factor_nnz,
+            "completed": stats.completed,
+            "failure": stats.failure_reason,
+        }
+        if result.method == baseline_method:
+            row["SP"] = 1.0 if stats.completed else None
+        else:
+            row["SP"] = _speedup(baseline, result)
+        comparison.rows.append(row)
+    return comparison

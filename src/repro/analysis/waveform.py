@@ -1,0 +1,111 @@
+"""Waveform containers and accuracy metrics (the Fig. 2 machinery).
+
+The paper's Fig. 2 compares the transient waveform of one observed node
+under BENR, ER and ER-C against a reference solution (BENR with a 10x
+smaller step).  Because adaptive methods place their time points
+differently, comparisons resample both signals onto a common grid before
+computing the error metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Signal", "WaveformComparison", "compare_waveforms"]
+
+
+class Signal:
+    """A sampled time-domain signal ``(times, values)``."""
+
+    def __init__(self, times, values, name: str = ""):
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have identical shapes")
+        if self.times.ndim != 1:
+            raise ValueError("signals must be one-dimensional")
+        if self.times.size >= 2 and np.any(np.diff(self.times) < 0):
+            raise ValueError("signal time points must be non-decreasing")
+        self.name = name
+
+    @classmethod
+    def from_result(cls, result, node: str) -> "Signal":
+        """Extract the waveform of ``node`` from a :class:`SimulationResult`."""
+        return cls(result.time_array, result.voltage(node),
+                   name=f"{result.method}:{node}")
+
+    def resample(self, times) -> "Signal":
+        """Linear-interpolate the signal onto a new time grid."""
+        times = np.asarray(times, dtype=float)
+        values = np.interp(times, self.times, self.values)
+        return Signal(times, values, name=self.name)
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0]) if self.times.size else 0.0
+
+    def value_at(self, t: float) -> float:
+        return float(np.interp(t, self.times, self.values))
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, points={len(self)}, duration={self.duration:g}s)"
+
+
+@dataclass
+class WaveformComparison:
+    """Error metrics of a signal against a reference."""
+
+    name: str
+    reference_name: str
+    max_abs_error: float
+    rms_error: float
+    mean_abs_error: float
+    max_relative_error: float
+
+    def as_dict(self) -> dict:
+        return {
+            "signal": self.name,
+            "reference": self.reference_name,
+            "max_abs_error": self.max_abs_error,
+            "rms_error": self.rms_error,
+            "mean_abs_error": self.mean_abs_error,
+            "max_relative_error": self.max_relative_error,
+        }
+
+
+def compare_waveforms(signal: Signal, reference: Signal,
+                      grid: Optional[np.ndarray] = None) -> WaveformComparison:
+    """Compare ``signal`` against ``reference`` on a common time grid.
+
+    The grid defaults to the reference's own time points restricted to the
+    overlap of both signals (so neither signal is extrapolated).
+    """
+    t_lo = max(signal.times[0], reference.times[0])
+    t_hi = min(signal.times[-1], reference.times[-1])
+    if t_hi <= t_lo:
+        raise ValueError("signals do not overlap in time")
+    if grid is None:
+        mask = (reference.times >= t_lo) & (reference.times <= t_hi)
+        grid = reference.times[mask]
+        if grid.size < 2:
+            grid = np.linspace(t_lo, t_hi, 101)
+    grid = np.asarray(grid, dtype=float)
+
+    s = signal.resample(grid).values
+    r = reference.resample(grid).values
+    err = s - r
+    scale = np.max(np.abs(r)) if np.max(np.abs(r)) > 0 else 1.0
+    return WaveformComparison(
+        name=signal.name,
+        reference_name=reference.name,
+        max_abs_error=float(np.max(np.abs(err))),
+        rms_error=float(np.sqrt(np.mean(err ** 2))),
+        mean_abs_error=float(np.mean(np.abs(err))),
+        max_relative_error=float(np.max(np.abs(err)) / scale),
+    )

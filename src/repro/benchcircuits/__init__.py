@@ -1,0 +1,32 @@
+"""Benchmark circuit generators.
+
+The paper evaluates on proprietary post-layout designs (ckt1-ckt8 and the
+FreeCPU interconnect); this subpackage provides parameterizable synthetic
+equivalents whose *structural* properties -- device counts, the ratio and
+distribution of non-zeros in ``C`` versus ``G``, coupling density -- can be
+dialed to match the regimes of the paper's Table I and Fig. 1 at sizes a
+pure-Python simulator handles.  See DESIGN.md ("Substitutions") for the
+mapping and the argument why the relative behaviour is preserved.
+"""
+
+from repro.benchcircuits.rc_networks import rc_ladder, rc_mesh
+from repro.benchcircuits.inverter_chain import inverter_chain, stiff_inverter_chain
+from repro.benchcircuits.power_grid import power_grid
+from repro.benchcircuits.coupled_interconnect import coupled_lines, driven_coupled_bus
+from repro.benchcircuits.freecpu import freecpu_like_system, freecpu_like_circuit
+from repro.benchcircuits.testcases import TestCase, make_ckt, TESTCASE_NAMES
+
+__all__ = [
+    "rc_ladder",
+    "rc_mesh",
+    "inverter_chain",
+    "stiff_inverter_chain",
+    "power_grid",
+    "coupled_lines",
+    "driven_coupled_bus",
+    "freecpu_like_system",
+    "freecpu_like_circuit",
+    "TestCase",
+    "make_ckt",
+    "TESTCASE_NAMES",
+]

@@ -1,0 +1,124 @@
+"""CMOS inverter-chain generators.
+
+The paper's Fig. 2 uses "a stiff nonlinear circuit containing an inverter
+chain" to compare the accuracy of BENR, ER and ER-C.  These generators
+build CMOS inverter chains with per-stage interconnect parasitics; the
+``stiff_inverter_chain`` variant spreads the load capacitances over several
+orders of magnitude and adds small wire resistances so the circuit's time
+constants span a wide range (a stiff system with a singular MNA ``C``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuit.devices.mosfet import MOSFETModel
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import PULSE, Waveform
+
+__all__ = ["default_nmos", "default_pmos", "inverter_chain", "stiff_inverter_chain"]
+
+
+def default_nmos(level: int = 2) -> MOSFETModel:
+    """A representative short-channel NMOS model (see DESIGN.md on BSIM3)."""
+    return MOSFETModel(
+        name="NCH", mos_type="nmos", level=level, vt0=0.35, kp=3e-4,
+        lam=0.05, gamma=0.25, phi=0.7, nfactor=1.35,
+        cgso=8e-11, cgdo=8e-11, cgbo=1e-10, cox=8e-3, cj=8e-4,
+    )
+
+
+def default_pmos(level: int = 2) -> MOSFETModel:
+    """A representative short-channel PMOS model."""
+    return MOSFETModel(
+        name="PCH", mos_type="pmos", level=level, vt0=0.35, kp=1.2e-4,
+        lam=0.06, gamma=0.25, phi=0.7, nfactor=1.4,
+        cgso=8e-11, cgdo=8e-11, cgbo=1e-10, cox=8e-3, cj=8e-4,
+    )
+
+
+def inverter_chain(
+    num_stages: int,
+    vdd: float = 1.0,
+    load_cap: float = 2e-15,
+    wire_resistance: float = 50.0,
+    input_waveform: Optional[Waveform] = None,
+    model_level: int = 2,
+    wn: float = 0.5e-6,
+    wp: float = 1.0e-6,
+    length: float = 0.1e-6,
+    name: str = "inverter_chain",
+) -> Circuit:
+    """Build a CMOS inverter chain of ``num_stages`` stages.
+
+    Stage ``i`` drives node ``out<i>`` through a small wire resistance into
+    the next stage's gate node ``in<i+1>``; every output carries a grounded
+    load capacitor.  Node ``out<num_stages>`` is the final output.
+    """
+    if num_stages < 1:
+        raise ValueError("inverter_chain needs at least one stage")
+    ckt = Circuit(name)
+    nmos = default_nmos(model_level)
+    pmos = default_pmos(model_level)
+    ckt.add_model(nmos)
+    ckt.add_model(pmos)
+
+    if input_waveform is None:
+        input_waveform = PULSE(0.0, vdd, 50e-12, 20e-12, 20e-12, 0.4e-9, 1.0e-9)
+
+    ckt.add_vsource("Vdd", "vdd", "0", vdd)
+    ckt.add_vsource("Vin", "in1", "0", input_waveform)
+
+    for stage in range(1, num_stages + 1):
+        gate = f"in{stage}"
+        out = f"out{stage}"
+        ckt.add_mosfet(f"MP{stage}", out, gate, "vdd", "vdd", model=pmos, w=wp, l=length)
+        ckt.add_mosfet(f"MN{stage}", out, gate, "0", "0", model=nmos, w=wn, l=length)
+        ckt.add_capacitor(f"CL{stage}", out, "0", load_cap)
+        if stage < num_stages:
+            next_gate = f"in{stage + 1}"
+            if wire_resistance > 0:
+                ckt.add_resistor(f"RW{stage}", out, next_gate, wire_resistance)
+            else:
+                # direct connection modelled by a tiny resistance to keep
+                # distinct nodes (keeps the generator uniform)
+                ckt.add_resistor(f"RW{stage}", out, next_gate, 1e-3)
+    return ckt
+
+
+def stiff_inverter_chain(
+    num_stages: int = 10,
+    vdd: float = 1.0,
+    cap_spread_decades: float = 3.0,
+    base_load_cap: float = 1e-15,
+    wire_resistance: float = 200.0,
+    input_waveform: Optional[Waveform] = None,
+    model_level: int = 2,
+    name: str = "stiff_inverter_chain",
+) -> Circuit:
+    """Inverter chain whose per-stage loads span several orders of magnitude.
+
+    Spreading the load capacitances over ``cap_spread_decades`` decades (and
+    keeping the wire resistances fixed) makes the stage time constants
+    differ by the same factor, producing the stiff system the paper's Fig. 2
+    experiment relies on.  The MNA capacitance matrix stays singular (the
+    supply node and source branch rows carry no capacitance).
+    """
+    ckt = inverter_chain(
+        num_stages,
+        vdd=vdd,
+        load_cap=base_load_cap,
+        wire_resistance=wire_resistance,
+        input_waveform=input_waveform,
+        model_level=model_level,
+        name=name,
+    )
+    # Rescale the per-stage loads geometrically: stage i gets
+    # base * 10^(spread * i / (num_stages-1)).
+    if num_stages > 1:
+        for stage in range(1, num_stages + 1):
+            factor = 10.0 ** (cap_spread_decades * (stage - 1) / (num_stages - 1))
+            for element in ckt.elements:
+                if element.name == f"CL{stage}":
+                    element.value = base_load_cap * factor
+    return ckt

@@ -1,0 +1,112 @@
+"""RC ladder and mesh generators.
+
+These linear networks are the basic building blocks of interconnect
+models: an RC ladder approximates a single routed wire, an RC mesh
+approximates a metal plane or a clock grid.  Both accept an optional
+coupling-capacitance density so the ``nnz(C)`` / ``nnz(G)`` ratio -- the
+quantity the paper's evaluation varies -- can be controlled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import PULSE, Waveform
+
+__all__ = ["rc_ladder", "rc_mesh"]
+
+
+def rc_ladder(
+    num_segments: int,
+    r_per_segment: float = 100.0,
+    c_per_segment: float = 10e-15,
+    drive: Optional[Waveform] = None,
+    name: str = "rc_ladder",
+) -> Circuit:
+    """Build a driven RC ladder (``num_segments`` series R, shunt C to ground).
+
+    Node names are ``in``, ``n1`` ... ``n<num_segments>``; the far end is
+    ``n<num_segments>`` (also aliased conceptually as the output).
+    """
+    if num_segments < 1:
+        raise ValueError("rc_ladder needs at least one segment")
+    ckt = Circuit(name)
+    if drive is None:
+        drive = PULSE(0.0, 1.0, 0.0, 20e-12, 20e-12, 0.5e-9, 1e-9)
+    ckt.add_vsource("Vin", "in", "0", drive)
+    previous = "in"
+    for i in range(1, num_segments + 1):
+        node = f"n{i}"
+        ckt.add_resistor(f"R{i}", previous, node, r_per_segment)
+        ckt.add_capacitor(f"C{i}", node, "0", c_per_segment)
+        previous = node
+    return ckt
+
+
+def rc_mesh(
+    rows: int,
+    cols: int,
+    r_per_edge: float = 50.0,
+    c_per_node: float = 5e-15,
+    coupling_fraction: float = 0.0,
+    coupling_cap: float = 2e-15,
+    drive: Optional[Waveform] = None,
+    seed: int = 0,
+    name: str = "rc_mesh",
+) -> Circuit:
+    """Build a rows x cols RC mesh with optional random coupling capacitors.
+
+    Parameters
+    ----------
+    coupling_fraction:
+        Fraction of node pairs (relative to the node count) that receive an
+        extra *coupling* capacitor between two randomly chosen non-adjacent
+        nodes.  ``0`` keeps ``C`` diagonal (grounded caps only);
+        increasing it densifies ``C`` without touching ``G`` -- the knob
+        behind the paper's ckt4-ckt8 regimes.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("rc_mesh needs at least a 2x2 grid")
+    ckt = Circuit(name)
+    if drive is None:
+        drive = PULSE(0.0, 1.0, 0.0, 20e-12, 20e-12, 0.5e-9, 1e-9)
+
+    def node(r: int, c: int) -> str:
+        return f"n{r}_{c}"
+
+    ckt.add_vsource("Vin", "in", "0", drive)
+    ckt.add_resistor("Rdrv", "in", node(0, 0), r_per_edge)
+
+    for r in range(rows):
+        for c in range(cols):
+            ckt.add_capacitor(f"Cg{r}_{c}", node(r, c), "0", c_per_node)
+            if c + 1 < cols:
+                ckt.add_resistor(f"Rh{r}_{c}", node(r, c), node(r, c + 1), r_per_edge)
+            if r + 1 < rows:
+                ckt.add_resistor(f"Rv{r}_{c}", node(r, c), node(r + 1, c), r_per_edge)
+
+    num_nodes = rows * cols
+    num_coupling = int(round(coupling_fraction * num_nodes))
+    if num_coupling > 0:
+        rng = np.random.default_rng(seed)
+        added = 0
+        attempts = 0
+        while added < num_coupling and attempts < 50 * num_coupling:
+            attempts += 1
+            r1, c1 = rng.integers(rows), rng.integers(cols)
+            r2, c2 = rng.integers(rows), rng.integers(cols)
+            if (r1, c1) == (r2, c2):
+                continue
+            if abs(r1 - r2) + abs(c1 - c2) <= 1:
+                continue  # skip adjacent nodes: those belong to G's pattern
+            try:
+                ckt.add_coupling_capacitor(
+                    f"Cc{added}", node(r1, c1), node(r2, c2), coupling_cap
+                )
+            except ValueError:
+                continue  # duplicate name cannot happen, but keep the loop safe
+            added += 1
+    return ckt

@@ -1,0 +1,44 @@
+"""Circuit substrate: netlist, elements, devices, sources, parser and MNA.
+
+This subpackage implements everything a SPICE-like simulator needs *below*
+the numerical integration layer:
+
+* :mod:`repro.circuit.netlist` -- the :class:`Circuit` container and node
+  bookkeeping.
+* :mod:`repro.circuit.elements` -- linear elements (R, C, L, coupling
+  capacitors, controlled sources) and independent sources.
+* :mod:`repro.circuit.sources` -- time-domain waveforms (DC, PWL, PULSE,
+  SIN, EXP) used by independent sources.
+* :mod:`repro.circuit.devices` -- nonlinear devices (diode, MOSFET).
+* :mod:`repro.circuit.parser` -- a SPICE-like text netlist parser.
+* :mod:`repro.circuit.mna` -- modified nodal analysis assembly producing
+  the sparse matrices ``C(x)``, ``G(x)``, the input matrix ``B`` and the
+  vectors ``q(x)``, ``f(x)``, ``u(t)`` consumed by the integrators.
+"""
+
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.sources import (
+    DC,
+    PWL,
+    PULSE,
+    SIN,
+    EXP,
+    Waveform,
+)
+from repro.circuit.mna import MNASystem, EvalResult
+from repro.circuit.parser import parse_netlist, NetlistSyntaxError
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "DC",
+    "PWL",
+    "PULSE",
+    "SIN",
+    "EXP",
+    "Waveform",
+    "MNASystem",
+    "EvalResult",
+    "parse_netlist",
+    "NetlistSyntaxError",
+]

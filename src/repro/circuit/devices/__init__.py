@@ -1,0 +1,20 @@
+"""Nonlinear device models (diode, MOSFET).
+
+These devices are evaluated once per Newton iteration (BENR) or once per
+time step (exponential Rosenbrock-Euler), producing their contribution to
+the static current vector ``f(x)``, charge vector ``q(x)`` and the
+linearized matrices ``G(x) = df/dx`` and ``C(x) = dq/dx``.
+"""
+
+from repro.circuit.devices.base import NonlinearDevice, NonlinearStamper
+from repro.circuit.devices.diode import Diode, DiodeModel
+from repro.circuit.devices.mosfet import MOSFET, MOSFETModel
+
+__all__ = [
+    "NonlinearDevice",
+    "NonlinearStamper",
+    "Diode",
+    "DiodeModel",
+    "MOSFET",
+    "MOSFETModel",
+]

@@ -1,0 +1,125 @@
+"""Base classes for nonlinear devices.
+
+A nonlinear device contributes, at an operating point ``x``:
+
+* static (resistive) currents into ``f(x)``;
+* the Jacobian of those currents ``df/dx`` into ``G(x)``;
+* stored charges into ``q(x)``;
+* the Jacobian of those charges ``dq/dx`` into ``C(x)``.
+
+Devices receive a :class:`NonlinearStamper` that resolves node names to
+solution entries and accumulates the four kinds of stamps; ground nodes
+are silently dropped by the stamper.
+
+Consistency requirement: the stamped Jacobians must be the exact
+derivatives of the stamped currents/charges.  Both the Newton-Raphson
+loop of the BENR baseline and the nonlinear error estimator of the
+exponential Rosenbrock-Euler integrator (Eq. 15 of the paper) rely on
+this; the unit tests check it by finite differences.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Protocol, Sequence
+
+__all__ = ["NonlinearStamper", "NonlinearDevice"]
+
+
+class NonlinearStamper(Protocol):
+    """Interface handed to devices during a nonlinear evaluation."""
+
+    def voltage(self, node: str) -> float:
+        """Return the voltage of ``node`` at the current solution (0 for ground)."""
+
+    def add_current(self, node: str, value: float) -> None:
+        """Add ``value`` to the static current ``f`` at ``node`` (current leaving)."""
+
+    def add_jacobian(self, row: str, col: str, value: float) -> None:
+        """Add ``value`` to ``G[row, col] = d f_row / d v_col``."""
+
+    def add_charge(self, node: str, value: float) -> None:
+        """Add ``value`` to the stored charge ``q`` at ``node``."""
+
+    def add_capacitance(self, row: str, col: str, value: float) -> None:
+        """Add ``value`` to ``C[row, col] = d q_row / d v_col``."""
+
+
+class NonlinearDevice(ABC):
+    """Base class for all nonlinear devices."""
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        self.name = str(name)
+        self.nodes = tuple(str(n) for n in nodes)
+
+    @abstractmethod
+    def stamp_nonlinear(self, st: NonlinearStamper) -> None:
+        """Evaluate the device at the stamper's operating point and stamp it."""
+
+    def limit_voltage(self, name: str, v_new: float, v_old: float) -> float:
+        """Limit a controlling voltage update for Newton robustness.
+
+        The default implementation performs no limiting.  Devices with
+        exponential characteristics (diodes, MOSFET bulk junctions)
+        override this to implement SPICE-style junction limiting, which
+        the Newton solver applies between iterations.
+        """
+        del name, v_old
+        return v_new
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"
+
+
+def fd_check_stamps(device: NonlinearDevice, voltages: dict, rel_step: float = 1e-7):
+    """Return (analytic_G, numeric_G, analytic_C, numeric_C) as dict-of-dicts.
+
+    Test helper: evaluates ``device`` at ``voltages`` (node name -> volts),
+    collects the stamped Jacobians and compares them against central
+    finite differences of the stamped currents/charges.  Exposed here so
+    both the unit tests and downstream users adding custom devices can
+    reuse it.
+    """
+    from collections import defaultdict
+
+    class _Collector:
+        def __init__(self, volts):
+            self.volts = dict(volts)
+            self.f = defaultdict(float)
+            self.q = defaultdict(float)
+            self.G = defaultdict(float)
+            self.C = defaultdict(float)
+
+        def voltage(self, node):
+            return self.volts.get(node, 0.0)
+
+        def add_current(self, node, value):
+            self.f[node] += value
+
+        def add_jacobian(self, row, col, value):
+            self.G[(row, col)] += value
+
+        def add_charge(self, node, value):
+            self.q[node] += value
+
+        def add_capacitance(self, row, col, value):
+            self.C[(row, col)] += value
+
+    base = _Collector(voltages)
+    device.stamp_nonlinear(base)
+
+    numeric_G = defaultdict(float)
+    numeric_C = defaultdict(float)
+    for col in device.nodes:
+        v0 = voltages.get(col, 0.0)
+        h = rel_step * max(1.0, abs(v0))
+        plus = _Collector({**voltages, col: v0 + h})
+        minus = _Collector({**voltages, col: v0 - h})
+        device.stamp_nonlinear(plus)
+        device.stamp_nonlinear(minus)
+        rows = set(plus.f) | set(minus.f) | set(plus.q) | set(minus.q)
+        for row in rows:
+            numeric_G[(row, col)] = (plus.f[row] - minus.f[row]) / (2 * h)
+            numeric_C[(row, col)] = (plus.q[row] - minus.q[row]) / (2 * h)
+
+    return dict(base.G), dict(numeric_G), dict(base.C), dict(numeric_C)

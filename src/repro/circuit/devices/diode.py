@@ -1,0 +1,170 @@
+"""Junction diode model.
+
+Static current follows the Shockley equation with a series-free ideal
+junction; the exponential is linearized above a critical voltage so the
+model never overflows and stays C1-continuous (the same device-level
+safeguard SPICE uses in combination with junction limiting).
+
+Charge storage combines a depletion (junction) capacitance with standard
+forward-bias linearization above ``fc * vj`` and a diffusion charge
+``tt * I(v)``; the stamped capacitance is the exact derivative of the
+stamped charge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.devices.base import NonlinearDevice, NonlinearStamper
+
+__all__ = ["DiodeModel", "Diode"]
+
+#: Boltzmann constant times 300K over the electron charge (thermal voltage).
+THERMAL_VOLTAGE = 0.02585
+
+
+@dataclass
+class DiodeModel:
+    """Diode .model parameters (SPICE-compatible subset)."""
+
+    name: str = "D"
+    #: saturation current [A]
+    isat: float = 1e-14
+    #: emission coefficient
+    n: float = 1.0
+    #: transit time (diffusion charge) [s]
+    tt: float = 0.0
+    #: zero-bias junction capacitance [F]
+    cj0: float = 0.0
+    #: junction potential [V]
+    vj: float = 1.0
+    #: grading coefficient
+    m: float = 0.5
+    #: forward-bias depletion capacitance coefficient
+    fc: float = 0.5
+    #: minimum parallel conductance for numerical robustness [S]
+    gmin: float = 1e-12
+
+    def __post_init__(self):
+        if self.isat <= 0:
+            raise ValueError("diode saturation current must be positive")
+        if self.n <= 0:
+            raise ValueError("diode emission coefficient must be positive")
+        if not (0.0 < self.fc < 1.0):
+            raise ValueError("diode fc must lie in (0, 1)")
+
+    @property
+    def vte(self) -> float:
+        """Effective thermal voltage ``n * kT/q``."""
+        return self.n * THERMAL_VOLTAGE
+
+    @property
+    def v_crit(self) -> float:
+        """Critical voltage for junction limiting (SPICE pnjlim)."""
+        return self.vte * math.log(self.vte / (math.sqrt(2.0) * self.isat))
+
+
+class Diode(NonlinearDevice):
+    """Two-terminal junction diode between ``anode`` and ``cathode``."""
+
+    #: exponent above which the I-V curve is linearized to avoid overflow
+    _EXP_CLIP = 80.0
+
+    def __init__(self, name: str, anode: str, cathode: str, model: DiodeModel | None = None,
+                 area: float = 1.0):
+        super().__init__(name, (anode, cathode))
+        self.model = model if model is not None else DiodeModel()
+        if area <= 0:
+            raise ValueError(f"Diode {name}: area must be positive")
+        self.area = float(area)
+
+    # -- static characteristic -------------------------------------------------
+
+    def current_and_conductance(self, vd: float) -> tuple:
+        """Return ``(I, dI/dV)`` of the junction at voltage ``vd``."""
+        mdl = self.model
+        isat = mdl.isat * self.area
+        vte = mdl.vte
+        arg = vd / vte
+        if arg > self._EXP_CLIP:
+            # Linearize beyond the clip point to keep the model finite and C1.
+            e = math.exp(self._EXP_CLIP)
+            i = isat * (e * (1.0 + (arg - self._EXP_CLIP)) - 1.0)
+            g = isat * e / vte
+        else:
+            e = math.exp(arg)
+            i = isat * (e - 1.0)
+            g = isat * e / vte
+        i += mdl.gmin * vd
+        g += mdl.gmin
+        return i, g
+
+    # -- charge storage ---------------------------------------------------------
+
+    def charge_and_capacitance(self, vd: float) -> tuple:
+        """Return ``(Q, dQ/dV)`` of the junction at voltage ``vd``."""
+        mdl = self.model
+        cj0 = mdl.cj0 * self.area
+        q = 0.0
+        c = 0.0
+        if cj0 > 0.0:
+            fcv = mdl.fc * mdl.vj
+            if vd < fcv:
+                # depletion region: q = cj0*vj/(1-m) * (1 - (1 - v/vj)^(1-m))
+                arg = 1.0 - vd / mdl.vj
+                q += cj0 * mdl.vj / (1.0 - mdl.m) * (1.0 - arg ** (1.0 - mdl.m))
+                c += cj0 * arg ** (-mdl.m)
+            else:
+                # forward bias: linearized extension, C1-continuous at fc*vj
+                f1 = mdl.vj / (1.0 - mdl.m) * (1.0 - (1.0 - mdl.fc) ** (1.0 - mdl.m))
+                f2 = (1.0 - mdl.fc) ** (1.0 + mdl.m)
+                f3 = 1.0 - mdl.fc * (1.0 + mdl.m)
+                dv = vd - fcv
+                q += cj0 * (f1 + (f3 * dv + 0.5 * mdl.m / mdl.vj * dv * dv) / f2)
+                c += cj0 * (f3 + mdl.m * dv / mdl.vj) / f2
+        if mdl.tt > 0.0:
+            i, g = self.current_and_conductance(vd)
+            q += mdl.tt * i
+            c += mdl.tt * g
+        return q, c
+
+    # -- stamping ---------------------------------------------------------------
+
+    def stamp_nonlinear(self, st: NonlinearStamper) -> None:
+        a, c = self.nodes
+        vd = st.voltage(a) - st.voltage(c)
+
+        i, g = self.current_and_conductance(vd)
+        st.add_current(a, i)
+        st.add_current(c, -i)
+        st.add_jacobian(a, a, g)
+        st.add_jacobian(a, c, -g)
+        st.add_jacobian(c, a, -g)
+        st.add_jacobian(c, c, g)
+
+        q, cap = self.charge_and_capacitance(vd)
+        if q != 0.0 or cap != 0.0:
+            st.add_charge(a, q)
+            st.add_charge(c, -q)
+            st.add_capacitance(a, a, cap)
+            st.add_capacitance(a, c, -cap)
+            st.add_capacitance(c, a, -cap)
+            st.add_capacitance(c, c, cap)
+
+    # -- Newton helpers ----------------------------------------------------------
+
+    def limit_voltage(self, name: str, v_new: float, v_old: float) -> float:
+        """SPICE pnjlim junction-voltage limiting for the anode node."""
+        if name != self.nodes[0]:
+            return v_new
+        vte = self.model.vte
+        v_crit = self.model.v_crit
+        if v_new <= v_crit or abs(v_new - v_old) <= 2.0 * vte:
+            return v_new
+        if v_old > 0.0:
+            arg = 1.0 + (v_new - v_old) / vte
+            if arg > 0.0:
+                return v_old + vte * math.log(arg)
+            return v_crit
+        return vte * math.log(v_new / vte) if v_new > 0.0 else v_crit

@@ -1,0 +1,257 @@
+"""Linear circuit elements and independent sources.
+
+Each element is a light-weight description object; the actual matrix
+stamping is performed by :class:`repro.circuit.mna.MNASystem`, which hands
+each element a :class:`LinearStamper` view that resolves node names to
+unknown indices.  Elements therefore never deal with matrix indices
+directly, which keeps them trivially testable.
+
+Sign conventions (SPICE / MNA standard):
+
+* the system solved is ``dq(x)/dt + f(x) = B u(t)``;
+* a resistor/capacitor between nodes ``a`` and ``b`` stamps the usual
+  symmetric 4-entry pattern into ``G`` / ``C``;
+* an independent current source ``I`` from ``n+`` to ``n-`` removes the
+  current from ``n+`` and injects it into ``n-`` (stamped into ``B``);
+* voltage sources and inductors introduce one extra branch-current
+  unknown each.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.circuit.sources import DC, Waveform
+
+__all__ = [
+    "CircuitElement",
+    "LinearStamper",
+    "Resistor",
+    "Capacitor",
+    "CouplingCapacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+]
+
+
+class LinearStamper(Protocol):
+    """Interface the MNA assembler exposes to linear elements."""
+
+    def node(self, name: str) -> int:
+        """Return the unknown index of node ``name`` (-1 for ground)."""
+
+    def branch(self, element: "CircuitElement") -> int:
+        """Return the extra branch-current unknown index for ``element``."""
+
+    def add_G(self, i: int, j: int, value: float) -> None:
+        """Accumulate ``value`` into ``G[i, j]`` (ignored if i or j is ground)."""
+
+    def add_C(self, i: int, j: int, value: float) -> None:
+        """Accumulate ``value`` into ``C[i, j]`` (ignored if i or j is ground)."""
+
+    def add_input(self, i: int, waveform: Waveform, scale: float) -> None:
+        """Register ``scale * waveform(t)`` as a RHS injection at row ``i``."""
+
+
+class CircuitElement:
+    """Base class for all elements; stores the name and terminal nodes."""
+
+    #: True for elements that need an extra branch-current unknown.
+    needs_branch_current: bool = False
+
+    def __init__(self, name: str, nodes: tuple):
+        self.name = str(name)
+        self.nodes = tuple(str(n) for n in nodes)
+
+    def stamp(self, st: LinearStamper) -> None:
+        """Stamp the element's linear contribution.  Overridden by subclasses."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"
+
+
+class _TwoTerminal(CircuitElement):
+    def __init__(self, name: str, node_a: str, node_b: str, value: float):
+        super().__init__(name, (node_a, node_b))
+        if value < 0:
+            raise ValueError(f"{type(self).__name__} {name}: value must be non-negative, got {value}")
+        self.value = float(value)
+
+
+class Resistor(_TwoTerminal):
+    """Linear resistor; stamps ``1/R`` into the conductance matrix."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, resistance: float):
+        if resistance <= 0:
+            raise ValueError(f"Resistor {name}: resistance must be positive, got {resistance}")
+        super().__init__(name, node_a, node_b, resistance)
+
+    @property
+    def resistance(self) -> float:
+        return self.value
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.value
+
+    def stamp(self, st: LinearStamper) -> None:
+        a, b = st.node(self.nodes[0]), st.node(self.nodes[1])
+        g = self.conductance
+        st.add_G(a, a, g)
+        st.add_G(b, b, g)
+        st.add_G(a, b, -g)
+        st.add_G(b, a, -g)
+
+
+class Capacitor(_TwoTerminal):
+    """Linear capacitor; stamps the capacitance into ``C``."""
+
+    def __init__(self, name: str, node_a: str, node_b: str, capacitance: float):
+        super().__init__(name, node_a, node_b, capacitance)
+
+    @property
+    def capacitance(self) -> float:
+        return self.value
+
+    def stamp(self, st: LinearStamper) -> None:
+        a, b = st.node(self.nodes[0]), st.node(self.nodes[1])
+        c = self.capacitance
+        st.add_C(a, a, c)
+        st.add_C(b, b, c)
+        st.add_C(a, b, -c)
+        st.add_C(b, a, -c)
+
+
+class CouplingCapacitor(Capacitor):
+    """Parasitic coupling capacitor between two signal nets.
+
+    Electrically identical to :class:`Capacitor`; kept as a distinct type
+    so post-layout generators and statistics can distinguish grounded
+    capacitance from inter-net coupling (the quantity the paper's Fig. 1
+    and Table I vary through ``nnzC``).
+    """
+
+
+class Inductor(_TwoTerminal):
+    """Linear inductor; adds one branch-current unknown.
+
+    Row conventions for the branch unknown ``i_L`` (flowing a -> b):
+
+    * KCL rows: ``+i_L`` leaves node ``a``, enters node ``b``;
+    * branch row: ``v_a - v_b - L di_L/dt = 0`` i.e. ``q = -L i_L`` and
+      ``f = v_a - v_b`` on that row.
+    """
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, node_a: str, node_b: str, inductance: float):
+        if inductance <= 0:
+            raise ValueError(f"Inductor {name}: inductance must be positive, got {inductance}")
+        super().__init__(name, node_a, node_b, inductance)
+
+    @property
+    def inductance(self) -> float:
+        return self.value
+
+    def stamp(self, st: LinearStamper) -> None:
+        a, b = st.node(self.nodes[0]), st.node(self.nodes[1])
+        k = st.branch(self)
+        st.add_G(a, k, 1.0)
+        st.add_G(b, k, -1.0)
+        st.add_G(k, a, 1.0)
+        st.add_G(k, b, -1.0)
+        st.add_C(k, k, -self.inductance)
+
+
+class VoltageSource(CircuitElement):
+    """Independent voltage source; adds one branch-current unknown.
+
+    The branch current flows from ``n+`` through the source to ``n-``.
+    """
+
+    needs_branch_current = True
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, waveform: Waveform | float):
+        super().__init__(name, (node_pos, node_neg))
+        self.waveform: Waveform = DC(waveform) if isinstance(waveform, (int, float)) else waveform
+
+    def stamp(self, st: LinearStamper) -> None:
+        p, n = st.node(self.nodes[0]), st.node(self.nodes[1])
+        k = st.branch(self)
+        st.add_G(p, k, 1.0)
+        st.add_G(n, k, -1.0)
+        st.add_G(k, p, 1.0)
+        st.add_G(k, n, -1.0)
+        st.add_input(k, self.waveform, 1.0)
+
+
+class CurrentSource(CircuitElement):
+    """Independent current source from ``n+`` to ``n-``."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, waveform: Waveform | float):
+        super().__init__(name, (node_pos, node_neg))
+        self.waveform: Waveform = DC(waveform) if isinstance(waveform, (int, float)) else waveform
+
+    def stamp(self, st: LinearStamper) -> None:
+        p, n = st.node(self.nodes[0]), st.node(self.nodes[1])
+        # Current leaves n+ and enters n-; B u(t) sits on the RHS.
+        st.add_input(p, self.waveform, -1.0)
+        st.add_input(n, self.waveform, 1.0)
+
+
+class VCCS(CircuitElement):
+    """Voltage-controlled current source: ``i(out+ -> out-) = gm * v(c+ , c-)``."""
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        transconductance: float,
+    ):
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.gm = float(transconductance)
+
+    def stamp(self, st: LinearStamper) -> None:
+        op, on = st.node(self.nodes[0]), st.node(self.nodes[1])
+        cp, cn = st.node(self.nodes[2]), st.node(self.nodes[3])
+        gm = self.gm
+        st.add_G(op, cp, gm)
+        st.add_G(op, cn, -gm)
+        st.add_G(on, cp, -gm)
+        st.add_G(on, cn, gm)
+
+
+class VCVS(CircuitElement):
+    """Voltage-controlled voltage source: ``v(out+, out-) = gain * v(c+, c-)``."""
+
+    needs_branch_current = True
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        gain: float,
+    ):
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.gain = float(gain)
+
+    def stamp(self, st: LinearStamper) -> None:
+        op, on = st.node(self.nodes[0]), st.node(self.nodes[1])
+        cp, cn = st.node(self.nodes[2]), st.node(self.nodes[3])
+        k = st.branch(self)
+        st.add_G(op, k, 1.0)
+        st.add_G(on, k, -1.0)
+        st.add_G(k, op, 1.0)
+        st.add_G(k, on, -1.0)
+        st.add_G(k, cp, -self.gain)
+        st.add_G(k, cn, self.gain)

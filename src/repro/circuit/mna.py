@@ -1,0 +1,377 @@
+"""Modified nodal analysis (MNA) assembly.
+
+:class:`MNASystem` turns a :class:`repro.circuit.netlist.Circuit` into the
+sparse dynamical system the integrators operate on:
+
+.. math::
+
+    \\frac{d q(x)}{dt} + f(x) = B u(t)
+
+with
+
+* ``x`` -- node voltages followed by the branch currents of voltage
+  sources, inductors and VCVS elements;
+* ``q(x) = C_lin x + q_nl(x)`` -- charges/fluxes, ``C(x) = dq/dx``;
+* ``f(x) = G_lin x + i_nl(x)`` -- static currents, ``G(x) = df/dx``;
+* ``B u(t)`` -- the independent-source excitation, with one input column
+  per independent source.
+
+The capacitance matrix ``C`` is allowed to be singular (pure algebraic
+rows), which is precisely the regime the paper targets: the invert Krylov
+subspace method never needs ``C^{-1}``, whereas the standard Krylov
+baseline requires a regularization pass
+(:mod:`repro.linalg.regularization`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.elements import CircuitElement, CouplingCapacitor
+from repro.circuit.sources import Waveform
+
+__all__ = ["MNASystem", "EvalResult", "StructureStats"]
+
+
+@dataclass
+class EvalResult:
+    """Nonlinear evaluation of the circuit at a state ``x``.
+
+    Attributes
+    ----------
+    C, G:
+        Sparse CSC matrices ``dq/dx`` and ``df/dx`` at ``x``.
+    f, q:
+        Dense vectors ``f(x)`` and ``q(x)``.
+    """
+
+    C: sp.csc_matrix
+    G: sp.csc_matrix
+    f: np.ndarray
+    q: np.ndarray
+
+
+@dataclass
+class StructureStats:
+    """Structural statistics used in the paper's Table I and Fig. 1."""
+
+    n: int
+    num_nodes: int
+    num_branches: int
+    num_devices: int
+    nnz_C: int
+    nnz_G: int
+    num_coupling_caps: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "#N": self.n,
+            "#Dev": self.num_devices,
+            "nnzC": self.nnz_C,
+            "nnzG": self.nnz_G,
+            "nodes": self.num_nodes,
+            "branches": self.num_branches,
+            "coupling_caps": self.num_coupling_caps,
+        }
+
+
+class _LinearAssembler:
+    """LinearStamper implementation that accumulates COO triplets."""
+
+    def __init__(self, system: "MNASystem"):
+        self._system = system
+        self.g_rows: List[int] = []
+        self.g_cols: List[int] = []
+        self.g_vals: List[float] = []
+        self.c_rows: List[int] = []
+        self.c_cols: List[int] = []
+        self.c_vals: List[float] = []
+        #: (row, waveform, scale) registrations, grouped into B columns later
+        self.inputs: List[Tuple[int, Waveform, float]] = []
+
+    def node(self, name: str) -> int:
+        return self._system.node_index(name)
+
+    def branch(self, element: CircuitElement) -> int:
+        return self._system.branch_index(element)
+
+    def add_G(self, i: int, j: int, value: float) -> None:
+        if i < 0 or j < 0 or value == 0.0:
+            return
+        self.g_rows.append(i)
+        self.g_cols.append(j)
+        self.g_vals.append(value)
+
+    def add_C(self, i: int, j: int, value: float) -> None:
+        if i < 0 or j < 0 or value == 0.0:
+            return
+        self.c_rows.append(i)
+        self.c_cols.append(j)
+        self.c_vals.append(value)
+
+    def add_input(self, i: int, waveform: Waveform, scale: float) -> None:
+        if i < 0 or scale == 0.0:
+            return
+        self.inputs.append((i, waveform, scale))
+
+
+class _NonlinearAssembler:
+    """NonlinearStamper implementation used during ``MNASystem.evaluate``."""
+
+    def __init__(self, system: "MNASystem", x: np.ndarray):
+        self._system = system
+        self._x = x
+        n = system.n
+        self.f = np.zeros(n)
+        self.q = np.zeros(n)
+        self.g_rows: List[int] = []
+        self.g_cols: List[int] = []
+        self.g_vals: List[float] = []
+        self.c_rows: List[int] = []
+        self.c_cols: List[int] = []
+        self.c_vals: List[float] = []
+
+    def voltage(self, node: str) -> float:
+        idx = self._system.node_index(node)
+        return 0.0 if idx < 0 else float(self._x[idx])
+
+    def add_current(self, node: str, value: float) -> None:
+        idx = self._system.node_index(node)
+        if idx >= 0:
+            self.f[idx] += value
+
+    def add_jacobian(self, row: str, col: str, value: float) -> None:
+        i = self._system.node_index(row)
+        j = self._system.node_index(col)
+        if i >= 0 and j >= 0 and value != 0.0:
+            self.g_rows.append(i)
+            self.g_cols.append(j)
+            self.g_vals.append(value)
+
+    def add_charge(self, node: str, value: float) -> None:
+        idx = self._system.node_index(node)
+        if idx >= 0:
+            self.q[idx] += value
+
+    def add_capacitance(self, row: str, col: str, value: float) -> None:
+        i = self._system.node_index(row)
+        j = self._system.node_index(col)
+        if i >= 0 and j >= 0 and value != 0.0:
+            self.c_rows.append(i)
+            self.c_cols.append(j)
+            self.c_vals.append(value)
+
+
+class MNASystem:
+    """Sparse modified nodal analysis view of a :class:`Circuit`."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(circuit.node_names)
+        }
+        branch_elements = [el for el in circuit.elements if el.needs_branch_current]
+        self._branch_elements = branch_elements
+        self._branch_index: Dict[int, int] = {
+            id(el): circuit.num_nodes + k for k, el in enumerate(branch_elements)
+        }
+        self._branch_by_name: Dict[str, int] = {
+            el.name: circuit.num_nodes + k for k, el in enumerate(branch_elements)
+        }
+        self.num_nodes = circuit.num_nodes
+        self.num_branches = len(branch_elements)
+        self.n = self.num_nodes + self.num_branches
+        if self.n == 0:
+            raise ValueError(f"circuit {circuit.title!r} has no unknowns")
+
+        self._assemble_linear()
+
+    # -- index resolution -----------------------------------------------------------
+
+    def node_index(self, name: str) -> int:
+        """Return the unknown index of node ``name``; -1 for ground."""
+        if Circuit.is_ground(name):
+            return -1
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r} in circuit {self.circuit.title!r}") from None
+
+    def branch_index(self, element: CircuitElement) -> int:
+        """Return the branch-current unknown index of ``element``."""
+        try:
+            return self._branch_index[id(element)]
+        except KeyError:
+            raise KeyError(
+                f"element {element.name!r} does not carry a branch current"
+            ) from None
+
+    def branch_index_by_name(self, name: str) -> int:
+        try:
+            return self._branch_by_name[name]
+        except KeyError:
+            raise KeyError(f"no branch-current unknown for element {name!r}") from None
+
+    # -- linear assembly --------------------------------------------------------------
+
+    def _assemble_linear(self) -> None:
+        asm = _LinearAssembler(self)
+        for el in self.circuit.elements:
+            el.stamp(asm)
+
+        n = self.n
+        self.G_lin = sp.coo_matrix(
+            (asm.g_vals, (asm.g_rows, asm.g_cols)), shape=(n, n)
+        ).tocsc()
+        self.C_lin = sp.coo_matrix(
+            (asm.c_vals, (asm.c_rows, asm.c_cols)), shape=(n, n)
+        ).tocsc()
+        self.G_lin.sum_duplicates()
+        self.C_lin.sum_duplicates()
+
+        # Group input registrations into one B column per independent source
+        # (identified by its waveform object).
+        columns: Dict[int, int] = {}
+        self._waveforms: List[Waveform] = []
+        b_rows: List[int] = []
+        b_cols: List[int] = []
+        b_vals: List[float] = []
+        for row, waveform, scale in asm.inputs:
+            key = id(waveform)
+            if key not in columns:
+                columns[key] = len(self._waveforms)
+                self._waveforms.append(waveform)
+            b_rows.append(row)
+            b_cols.append(columns[key])
+            b_vals.append(scale)
+        self.num_inputs = len(self._waveforms)
+        self.B = sp.coo_matrix(
+            (b_vals, (b_rows, b_cols)), shape=(n, max(self.num_inputs, 1))
+        ).tocsc()
+
+        self._has_nonlinear = bool(self.circuit.devices)
+
+    # -- excitation -------------------------------------------------------------------
+
+    @property
+    def waveforms(self) -> List[Waveform]:
+        return list(self._waveforms)
+
+    def input_vector(self, t: float) -> np.ndarray:
+        """Return ``u(t)`` (one entry per independent source)."""
+        if self.num_inputs == 0:
+            return np.zeros(1)
+        return np.array([w.value(t) for w in self._waveforms])
+
+    def input_slope(self, t: float) -> np.ndarray:
+        """Return ``du/dt`` at time ``t``."""
+        if self.num_inputs == 0:
+            return np.zeros(1)
+        return np.array([w.slope(t) for w in self._waveforms])
+
+    def source_vector(self, t: float) -> np.ndarray:
+        """Return the dense RHS excitation ``B u(t)``."""
+        return np.asarray(self.B @ self.input_vector(t)).ravel()
+
+    def source_difference(self, t0: float, t1: float) -> np.ndarray:
+        """Return ``B (u(t1) - u(t0))`` -- the numerator of Eq. (13)."""
+        du = self.input_vector(t1) - self.input_vector(t0)
+        return np.asarray(self.B @ du).ravel()
+
+    def breakpoints(self, t_end: float) -> List[float]:
+        """Sorted source breakpoints in ``(0, t_end)`` (see Eq. 13 discussion)."""
+        pts: set = set()
+        for w in self._waveforms:
+            pts.update(w.breakpoints(t_end))
+        return sorted(p for p in pts if 0.0 < p < t_end)
+
+    # -- nonlinear evaluation ------------------------------------------------------------
+
+    @property
+    def has_nonlinear(self) -> bool:
+        return self._has_nonlinear
+
+    def evaluate(self, x: np.ndarray) -> EvalResult:
+        """Evaluate ``C(x), G(x), f(x), q(x)`` at the state ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n,):
+            raise ValueError(f"state vector must have shape ({self.n},), got {x.shape}")
+
+        f_lin = np.asarray(self.G_lin @ x).ravel()
+        q_lin = np.asarray(self.C_lin @ x).ravel()
+        if not self._has_nonlinear:
+            return EvalResult(C=self.C_lin, G=self.G_lin, f=f_lin, q=q_lin)
+
+        asm = _NonlinearAssembler(self, x)
+        for dev in self.circuit.devices:
+            dev.stamp_nonlinear(asm)
+
+        n = self.n
+        G_nl = sp.coo_matrix((asm.g_vals, (asm.g_rows, asm.g_cols)), shape=(n, n)).tocsc()
+        C_nl = sp.coo_matrix((asm.c_vals, (asm.c_rows, asm.c_cols)), shape=(n, n)).tocsc()
+        return EvalResult(
+            C=(self.C_lin + C_nl).tocsc(),
+            G=(self.G_lin + G_nl).tocsc(),
+            f=f_lin + asm.f,
+            q=q_lin + asm.q,
+        )
+
+    # -- solution access -----------------------------------------------------------------
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Return the voltage of ``node`` in the solution vector ``x``."""
+        idx = self.node_index(node)
+        return 0.0 if idx < 0 else float(x[idx])
+
+    def branch_current(self, x: np.ndarray, element_name: str) -> float:
+        """Return the branch current of a voltage source / inductor by name."""
+        return float(x[self.branch_index_by_name(element_name)])
+
+    def initial_state(self) -> np.ndarray:
+        """Return a state vector seeded from the circuit's ``.ic`` entries."""
+        x0 = np.zeros(self.n)
+        for node, value in self.circuit.initial_conditions.items():
+            idx = self.node_index(node)
+            if idx >= 0:
+                x0[idx] = value
+        return x0
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def structure_stats(self, x: Optional[np.ndarray] = None) -> StructureStats:
+        """Return the structural counters reported in Table I.
+
+        When ``x`` is given the nonlinear devices are evaluated there so the
+        reported ``nnz`` include device Jacobian fill; otherwise the linear
+        matrices are reported.
+        """
+        if x is None:
+            c_nnz = int(self.C_lin.nnz)
+            g_nnz = int(self.G_lin.nnz)
+        else:
+            ev = self.evaluate(x)
+            c_nnz = int(ev.C.nnz)
+            g_nnz = int(ev.G.nnz)
+        coupling = sum(
+            1 for el in self.circuit.elements if isinstance(el, CouplingCapacitor)
+        )
+        return StructureStats(
+            n=self.n,
+            num_nodes=self.num_nodes,
+            num_branches=self.num_branches,
+            num_devices=self.circuit.num_devices,
+            nnz_C=c_nnz,
+            nnz_G=g_nnz,
+            num_coupling_caps=coupling,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MNASystem(n={self.n}, nodes={self.num_nodes}, branches={self.num_branches}, "
+            f"inputs={self.num_inputs}, nonlinear={self._has_nonlinear})"
+        )

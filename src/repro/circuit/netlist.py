@@ -1,0 +1,208 @@
+"""The :class:`Circuit` netlist container.
+
+A :class:`Circuit` is an in-memory netlist: a bag of linear elements
+(:mod:`repro.circuit.elements`) and nonlinear devices
+(:mod:`repro.circuit.devices`) connected by named nodes.  It performs no
+numerics itself; :meth:`Circuit.build` assembles the modified nodal
+analysis system (:class:`repro.circuit.mna.MNASystem`) consumed by the
+integrators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.elements import (
+    Capacitor,
+    CircuitElement,
+    CouplingCapacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuit.devices.base import NonlinearDevice
+from repro.circuit.devices.diode import Diode, DiodeModel
+from repro.circuit.devices.mosfet import MOSFET, MOSFETModel
+from repro.circuit.sources import Waveform
+
+__all__ = ["Circuit", "GROUND"]
+
+#: Names accepted for the reference (ground) node.
+GROUND = ("0", "gnd", "GND", "vss!", "gnd!")
+
+
+class Circuit:
+    """A named collection of circuit elements and nonlinear devices."""
+
+    def __init__(self, title: str = "untitled"):
+        self.title = str(title)
+        self.elements: List[CircuitElement] = []
+        self.devices: List[NonlinearDevice] = []
+        self.models: Dict[str, object] = {}
+        #: user-specified initial node voltages (``.ic``), node name -> volts
+        self.initial_conditions: Dict[str, float] = {}
+        self._names: set = set()
+        self._node_order: List[str] = []
+        self._node_set: set = set()
+
+    # -- node bookkeeping -------------------------------------------------------
+
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        """Return True if ``node`` names the reference node."""
+        return node in GROUND or node.lower() in ("0", "gnd")
+
+    def _register_nodes(self, nodes: Sequence[str]) -> None:
+        for node in nodes:
+            node = str(node)
+            if self.is_ground(node):
+                continue
+            if node not in self._node_set:
+                self._node_set.add(node)
+                self._node_order.append(node)
+
+    def _register_name(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate element name {name!r} in circuit {self.title!r}")
+        self._names.add(name)
+
+    @property
+    def node_names(self) -> List[str]:
+        """Non-ground node names in registration order."""
+        return list(self._node_order)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_order)
+
+    @property
+    def num_devices(self) -> int:
+        """Number of nonlinear devices (the #Dev. column of Table I)."""
+        return len(self.devices)
+
+    # -- generic element registration --------------------------------------------
+
+    def add(self, item) -> "Circuit":
+        """Add an already-constructed element or nonlinear device."""
+        if isinstance(item, NonlinearDevice):
+            self._register_name(item.name)
+            self._register_nodes(item.nodes)
+            self.devices.append(item)
+        elif isinstance(item, CircuitElement):
+            self._register_name(item.name)
+            self._register_nodes(item.nodes)
+            self.elements.append(item)
+        else:
+            raise TypeError(f"cannot add object of type {type(item).__name__} to a circuit")
+        return self
+
+    # -- convenience constructors --------------------------------------------------
+
+    def add_resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        el = Resistor(name, a, b, resistance)
+        self.add(el)
+        return el
+
+    def add_capacitor(self, name: str, a: str, b: str, capacitance: float) -> Capacitor:
+        el = Capacitor(name, a, b, capacitance)
+        self.add(el)
+        return el
+
+    def add_coupling_capacitor(self, name: str, a: str, b: str, capacitance: float) -> CouplingCapacitor:
+        el = CouplingCapacitor(name, a, b, capacitance)
+        self.add(el)
+        return el
+
+    def add_inductor(self, name: str, a: str, b: str, inductance: float) -> Inductor:
+        el = Inductor(name, a, b, inductance)
+        self.add(el)
+        return el
+
+    def add_vsource(self, name: str, pos: str, neg: str, waveform: Waveform | float) -> VoltageSource:
+        el = VoltageSource(name, pos, neg, waveform)
+        self.add(el)
+        return el
+
+    def add_isource(self, name: str, pos: str, neg: str, waveform: Waveform | float) -> CurrentSource:
+        el = CurrentSource(name, pos, neg, waveform)
+        self.add(el)
+        return el
+
+    def add_vccs(self, name: str, out_pos: str, out_neg: str, ctrl_pos: str,
+                 ctrl_neg: str, gm: float) -> VCCS:
+        el = VCCS(name, out_pos, out_neg, ctrl_pos, ctrl_neg, gm)
+        self.add(el)
+        return el
+
+    def add_vcvs(self, name: str, out_pos: str, out_neg: str, ctrl_pos: str,
+                 ctrl_neg: str, gain: float) -> VCVS:
+        el = VCVS(name, out_pos, out_neg, ctrl_pos, ctrl_neg, gain)
+        self.add(el)
+        return el
+
+    def add_diode(self, name: str, anode: str, cathode: str,
+                  model: Optional[DiodeModel] = None, area: float = 1.0) -> Diode:
+        dev = Diode(name, anode, cathode, model=model, area=area)
+        self.add(dev)
+        return dev
+
+    def add_mosfet(self, name: str, drain: str, gate: str, source: str, bulk: str,
+                   model: Optional[MOSFETModel] = None, w: float = 1e-6,
+                   l: float = 1e-7) -> MOSFET:
+        dev = MOSFET(name, drain, gate, source, bulk, model=model, w=w, l=l)
+        self.add(dev)
+        return dev
+
+    # -- models and initial conditions ----------------------------------------------
+
+    def add_model(self, model) -> None:
+        """Register a named ``.model`` (DiodeModel or MOSFETModel)."""
+        name = getattr(model, "name", None)
+        if not name:
+            raise ValueError("model objects must carry a non-empty .name")
+        self.models[name.lower()] = model
+
+    def get_model(self, name: str):
+        try:
+            return self.models[name.lower()]
+        except KeyError:
+            raise KeyError(f"unknown model {name!r} in circuit {self.title!r}") from None
+
+    def set_initial_condition(self, node: str, voltage: float) -> None:
+        """Record a ``.ic`` initial node voltage used to seed DC/transient."""
+        if self.is_ground(node):
+            raise ValueError("cannot set an initial condition on the ground node")
+        self.initial_conditions[str(node)] = float(voltage)
+
+    # -- assembly -------------------------------------------------------------------
+
+    def build(self):
+        """Assemble and return the :class:`repro.circuit.mna.MNASystem`."""
+        from repro.circuit.mna import MNASystem
+
+        return MNASystem(self)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Return counts of nodes, linear elements and nonlinear devices."""
+        by_type: Dict[str, int] = {}
+        for el in self.elements:
+            by_type[type(el).__name__] = by_type.get(type(el).__name__, 0) + 1
+        for dev in self.devices:
+            by_type[type(dev).__name__] = by_type.get(type(dev).__name__, 0) + 1
+        return {
+            "nodes": self.num_nodes,
+            "linear_elements": len(self.elements),
+            "nonlinear_devices": len(self.devices),
+            **by_type,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.title!r}, nodes={self.num_nodes}, "
+            f"elements={len(self.elements)}, devices={len(self.devices)})"
+        )

@@ -1,0 +1,310 @@
+"""SPICE-like text netlist parser.
+
+Supports the subset of SPICE syntax needed by the examples and tests:
+
+* element cards: ``R``, ``C``, ``L``, ``V``, ``I``, ``D``, ``M``,
+  ``E`` (VCVS), ``G`` (VCCS);
+* source waveforms: plain DC values, ``DC v``, ``PWL(t1 v1 t2 v2 ...)``,
+  ``PULSE(v1 v2 td tr tf pw per)``, ``SIN(off ampl freq [td theta])``,
+  ``EXP(v1 v2 td1 tau1 td2 tau2)``;
+* ``.model name d|nmos|pmos (param=value ...)``;
+* ``.ic v(node)=value``;
+* ``.tran tstep tstop``;
+* ``*`` comments, ``+`` continuation lines, ``.end``;
+* SPICE magnitude suffixes (``f p n u m k meg g t``).
+
+The parser is deliberately strict: unknown cards raise
+:class:`NetlistSyntaxError` with the offending line number instead of
+being silently ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.devices.diode import DiodeModel
+from repro.circuit.devices.mosfet import MOSFETModel
+from repro.circuit.sources import DC, EXP, PULSE, PWL, SIN, Waveform
+
+__all__ = ["parse_netlist", "parse_value", "NetlistSyntaxError", "ParsedNetlist", "TranSpec"]
+
+
+class NetlistSyntaxError(ValueError):
+    """Raised when a netlist line cannot be parsed."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None, line: str = ""):
+        loc = f" (line {line_no}: {line.strip()!r})" if line_no is not None else ""
+        super().__init__(message + loc)
+        self.line_no = line_no
+        self.line = line
+
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(
+    r"^\s*([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)\s*(meg|t|g|k|m|u|n|p|f)?[a-zA-Z]*\s*$"
+)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE numeric token such as ``1k``, ``2.2u``, ``10meg``, ``1e-9``."""
+    match = _VALUE_RE.match(token.lower())
+    if not match:
+        raise ValueError(f"cannot parse numeric value {token!r}")
+    base = float(match.group(1))
+    suffix = match.group(2)
+    return base * _SUFFIXES[suffix] if suffix else base
+
+
+@dataclass
+class TranSpec:
+    """Parameters of a ``.tran`` card."""
+
+    tstep: float
+    tstop: float
+    tstart: float = 0.0
+
+
+@dataclass
+class ParsedNetlist:
+    """Result of parsing: the circuit plus analysis directives."""
+
+    circuit: Circuit
+    tran: Optional[TranSpec] = None
+    options: Dict[str, float] = field(default_factory=dict)
+
+
+def _join_continuations(text: str) -> List[Tuple[int, str]]:
+    """Strip comments and merge ``+`` continuation lines, keeping line numbers."""
+    logical: List[Tuple[int, str]] = []
+    for i, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].rstrip()
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not logical:
+                raise NetlistSyntaxError("continuation line with nothing to continue", i, raw)
+            prev_no, prev = logical[-1]
+            logical[-1] = (prev_no, prev + " " + stripped[1:].strip())
+        else:
+            logical.append((i, stripped))
+    return logical
+
+
+_FUNC_RE = re.compile(r"^(pwl|pulse|sin|exp|dc)\s*\((.*)\)$", re.IGNORECASE | re.DOTALL)
+
+
+def _parse_waveform(spec: str) -> Waveform:
+    """Parse the waveform part of a V/I card."""
+    spec = spec.strip()
+    lowered = spec.lower()
+    if lowered.startswith("dc") and "(" not in lowered:
+        return DC(parse_value(spec.split(None, 1)[1]))
+    match = _FUNC_RE.match(spec)
+    if match:
+        kind = match.group(1).lower()
+        args = [parse_value(tok) for tok in match.group(2).replace(",", " ").split()]
+        if kind == "dc":
+            return DC(args[0])
+        if kind == "pwl":
+            if len(args) < 2 or len(args) % 2 != 0:
+                raise ValueError("PWL needs an even number of time/value arguments")
+            points = list(zip(args[0::2], args[1::2]))
+            return PWL(points)
+        if kind == "pulse":
+            return PULSE(*args)
+        if kind == "sin":
+            return SIN(*args)
+        if kind == "exp":
+            return EXP(*args)
+    # plain numeric value -> DC source
+    return DC(parse_value(spec))
+
+
+def _parse_params(tokens: List[str]) -> Dict[str, float]:
+    """Parse ``key=value`` tokens into a dict."""
+    params: Dict[str, float] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise ValueError(f"expected key=value parameter, got {tok!r}")
+        key, val = tok.split("=", 1)
+        params[key.strip().lower()] = parse_value(val)
+    return params
+
+
+_DIODE_PARAM_MAP = {
+    "is": "isat",
+    "n": "n",
+    "tt": "tt",
+    "cjo": "cj0",
+    "cj0": "cj0",
+    "vj": "vj",
+    "m": "m",
+    "fc": "fc",
+}
+
+_MOS_PARAM_MAP = {
+    "level": "level",
+    "vto": "vt0",
+    "vt0": "vt0",
+    "kp": "kp",
+    "lambda": "lam",
+    "gamma": "gamma",
+    "phi": "phi",
+    "cgso": "cgso",
+    "cgdo": "cgdo",
+    "cgbo": "cgbo",
+    "cox": "cox",
+    "cj": "cj",
+    "pb": "pb",
+    "mj": "mj",
+    "fc": "fc",
+    "nfactor": "nfactor",
+}
+
+
+def _build_model(name: str, kind: str, params: Dict[str, float]):
+    kind = kind.lower()
+    if kind == "d":
+        kwargs = {}
+        for key, value in params.items():
+            if key not in _DIODE_PARAM_MAP:
+                raise ValueError(f"unknown diode model parameter {key!r}")
+            kwargs[_DIODE_PARAM_MAP[key]] = value
+        return DiodeModel(name=name, **kwargs)
+    if kind in ("nmos", "pmos"):
+        kwargs = {"mos_type": kind}
+        for key, value in params.items():
+            if key not in _MOS_PARAM_MAP:
+                raise ValueError(f"unknown MOSFET model parameter {key!r}")
+            target = _MOS_PARAM_MAP[key]
+            kwargs[target] = int(value) if target == "level" else value
+        return MOSFETModel(name=name, **kwargs)
+    raise ValueError(f"unknown model type {kind!r}")
+
+
+_IC_RE = re.compile(r"v\(([^)]+)\)\s*=\s*(\S+)", re.IGNORECASE)
+
+
+def parse_netlist(text: str, title: Optional[str] = None) -> ParsedNetlist:
+    """Parse a SPICE-like netlist text into a :class:`ParsedNetlist`."""
+    lines = _join_continuations(text)
+    if not lines:
+        raise NetlistSyntaxError("empty netlist")
+
+    # SPICE treats the first line as the title when it does not look like a
+    # card: directives start with '.', element cards start with a known
+    # letter and carry at least four whitespace-separated fields.
+    first_no, first = lines[0]
+    looks_like_card = first.startswith(".") or (
+        first[0].upper() in "RCLVIDMEG" and len(first.split()) >= 4
+    )
+    if title is None:
+        if not looks_like_card:
+            title = first
+            lines = lines[1:]
+        else:
+            title = "untitled"
+    if not lines:
+        raise NetlistSyntaxError("netlist contains no cards", first_no, first)
+
+    circuit = Circuit(title)
+    result = ParsedNetlist(circuit=circuit)
+    pending_devices: List[Tuple[int, str, List[str]]] = []
+
+    for line_no, line in lines:
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        try:
+            if kind == ".":
+                directive = card.lower()
+                if directive == ".end":
+                    break
+                if directive == ".model":
+                    name = tokens[1]
+                    remainder = line.split(None, 2)[2]
+                    if "(" in remainder:
+                        mtype, _, params_str = remainder.partition("(")
+                        params_str = params_str.rsplit(")", 1)[0]
+                    else:
+                        parts = remainder.split(None, 1)
+                        mtype, params_str = parts[0], parts[1] if len(parts) > 1 else ""
+                    mtype = mtype.strip()
+                    tokens_params = params_str.split()
+                    params = _parse_params(tokens_params) if tokens_params else {}
+                    circuit.add_model(_build_model(name, mtype, params))
+                elif directive == ".tran":
+                    tstep = parse_value(tokens[1])
+                    tstop = parse_value(tokens[2])
+                    tstart = parse_value(tokens[3]) if len(tokens) > 3 else 0.0
+                    result.tran = TranSpec(tstep=tstep, tstop=tstop, tstart=tstart)
+                elif directive == ".ic":
+                    for node, value in _IC_RE.findall(line):
+                        circuit.set_initial_condition(node, parse_value(value))
+                elif directive == ".options":
+                    result.options.update(_parse_params(tokens[1:]))
+                else:
+                    raise NetlistSyntaxError(f"unsupported directive {card!r}", line_no, line)
+            elif kind == "R":
+                circuit.add_resistor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "C":
+                circuit.add_capacitor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "L":
+                circuit.add_inductor(card, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "V":
+                spec = line.split(None, 3)[3]
+                circuit.add_vsource(card, tokens[1], tokens[2], _parse_waveform(spec))
+            elif kind == "I":
+                spec = line.split(None, 3)[3]
+                circuit.add_isource(card, tokens[1], tokens[2], _parse_waveform(spec))
+            elif kind == "E":
+                circuit.add_vcvs(card, tokens[1], tokens[2], tokens[3], tokens[4],
+                                 parse_value(tokens[5]))
+            elif kind == "G":
+                circuit.add_vccs(card, tokens[1], tokens[2], tokens[3], tokens[4],
+                                 parse_value(tokens[5]))
+            elif kind in ("D", "M"):
+                # Devices reference .model cards which may appear later in the
+                # file; defer their construction until all lines are read.
+                pending_devices.append((line_no, line, tokens))
+            else:
+                raise NetlistSyntaxError(f"unknown card {card!r}", line_no, line)
+        except NetlistSyntaxError:
+            raise
+        except (ValueError, IndexError, KeyError) as exc:
+            raise NetlistSyntaxError(str(exc), line_no, line) from exc
+
+    for line_no, line, tokens in pending_devices:
+        card = tokens[0]
+        kind = card[0].upper()
+        try:
+            if kind == "D":
+                model = circuit.get_model(tokens[3]) if len(tokens) > 3 else None
+                area = parse_value(tokens[4]) if len(tokens) > 4 else 1.0
+                circuit.add_diode(card, tokens[1], tokens[2], model=model, area=area)
+            else:  # MOSFET
+                model = circuit.get_model(tokens[5])
+                params = _parse_params(tokens[6:]) if len(tokens) > 6 else {}
+                circuit.add_mosfet(
+                    card, tokens[1], tokens[2], tokens[3], tokens[4], model=model,
+                    w=params.get("w", 1e-6), l=params.get("l", 1e-7),
+                )
+        except (ValueError, IndexError, KeyError) as exc:
+            raise NetlistSyntaxError(str(exc), line_no, line) from exc
+
+    return result

@@ -1,0 +1,315 @@
+"""Time-domain excitation waveforms for independent sources.
+
+The exponential Rosenbrock-Euler formulation of the paper (Sec. III)
+assumes the external excitation ``u(t)`` is piecewise linear inside each
+time step so that its contribution is captured exactly by the
+``h^2 phi_2(h J_k) b_k`` term with ``b_k = C_k^{-1} B (u(t_{k+1}) -
+u(t_k)) / h_k`` (Eq. 13).  Every waveform therefore exposes, besides its
+value, the list of *breakpoints* at which its slope changes; the adaptive
+step controller never steps across a breakpoint so the piecewise-linear
+assumption holds for PWL and PULSE inputs and is an accurate local
+approximation for smooth inputs (SIN, EXP).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+__all__ = ["Waveform", "DC", "PWL", "PULSE", "SIN", "EXP"]
+
+
+class Waveform(ABC):
+    """Abstract time-domain waveform ``u(t)``."""
+
+    @abstractmethod
+    def value(self, t: float) -> float:
+        """Return the waveform value at time ``t`` (seconds)."""
+
+    def slope(self, t: float) -> float:
+        """Return ``du/dt`` at time ``t`` (finite difference by default)."""
+        eps = 1e-15 + 1e-9 * abs(t)
+        return (self.value(t + eps) - self.value(t - eps)) / (2.0 * eps)
+
+    def breakpoints(self, t_end: float) -> List[float]:
+        """Return times in ``[0, t_end]`` where the slope is discontinuous.
+
+        The transient drivers clip their step size so that no step
+        straddles a breakpoint; this keeps the piecewise-linear input
+        assumption of Eq. (13) exact for PWL/PULSE sources.
+        """
+        return []
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+
+class DC(Waveform):
+    """Constant waveform."""
+
+    def __init__(self, value: float):
+        self._value = float(value)
+
+    def value(self, t: float) -> float:  # noqa: ARG002 - t unused by design
+        return self._value
+
+    def slope(self, t: float) -> float:  # noqa: ARG002
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"DC({self._value:g})"
+
+
+class PWL(Waveform):
+    """Piecewise-linear waveform defined by ``(time, value)`` points.
+
+    Before the first point the waveform holds the first value; after the
+    last point it holds the last value.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 1:
+            raise ValueError("PWL waveform needs at least one (time, value) point")
+        times = [float(t) for t, _ in points]
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise ValueError("PWL time points must be strictly increasing")
+        self._times = times
+        self._values = [float(v) for _, v in points]
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def value(self, t: float) -> float:
+        times, values = self._times, self._values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        # Linear search is fine: waveforms have a handful of points.
+        for i in range(len(times) - 1):
+            if times[i] <= t <= times[i + 1]:
+                frac = (t - times[i]) / (times[i + 1] - times[i])
+                return values[i] + frac * (values[i + 1] - values[i])
+        return values[-1]
+
+    def slope(self, t: float) -> float:
+        times, values = self._times, self._values
+        if t < times[0] or t >= times[-1]:
+            return 0.0
+        for i in range(len(times) - 1):
+            if times[i] <= t < times[i + 1]:
+                return (values[i + 1] - values[i]) / (times[i + 1] - times[i])
+        return 0.0
+
+    def breakpoints(self, t_end: float) -> List[float]:
+        return [t for t in self._times if 0.0 < t < t_end]
+
+    def __repr__(self) -> str:
+        return f"PWL({self.points})"
+
+
+class PULSE(Waveform):
+    """SPICE PULSE waveform.
+
+    Parameters follow the SPICE card
+    ``PULSE(v1 v2 delay rise fall width period)``: the output starts at
+    ``v1``, after ``delay`` it ramps to ``v2`` over ``rise`` seconds, stays
+    there for ``width`` seconds, ramps back over ``fall`` seconds, and the
+    pattern repeats with the given ``period``.
+    """
+
+    def __init__(
+        self,
+        v1: float,
+        v2: float,
+        delay: float = 0.0,
+        rise: float = 1e-12,
+        fall: float = 1e-12,
+        width: float = 1e-9,
+        period: float = 2e-9,
+    ):
+        if rise <= 0 or fall <= 0:
+            raise ValueError("PULSE rise/fall times must be positive")
+        if width < 0:
+            raise ValueError("PULSE width must be non-negative")
+        if period <= 0:
+            raise ValueError("PULSE period must be positive")
+        if rise + width + fall > period:
+            raise ValueError("PULSE rise + width + fall must fit inside the period")
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.delay = float(delay)
+        self.rise = float(rise)
+        self.fall = float(fall)
+        self.width = float(width)
+        self.period = float(period)
+
+    def _phase(self, t: float) -> float:
+        """Return the time within the current period (after the delay)."""
+        if t <= self.delay:
+            return -1.0
+        return (t - self.delay) % self.period
+
+    def value(self, t: float) -> float:
+        ph = self._phase(t)
+        if ph < 0.0:
+            return self.v1
+        if ph < self.rise:
+            return self.v1 + (self.v2 - self.v1) * ph / self.rise
+        if ph < self.rise + self.width:
+            return self.v2
+        if ph < self.rise + self.width + self.fall:
+            frac = (ph - self.rise - self.width) / self.fall
+            return self.v2 + (self.v1 - self.v2) * frac
+        return self.v1
+
+    def slope(self, t: float) -> float:
+        ph = self._phase(t)
+        if ph < 0.0:
+            return 0.0
+        if ph < self.rise:
+            return (self.v2 - self.v1) / self.rise
+        if ph < self.rise + self.width:
+            return 0.0
+        if ph < self.rise + self.width + self.fall:
+            return (self.v1 - self.v2) / self.fall
+        return 0.0
+
+    def breakpoints(self, t_end: float) -> List[float]:
+        pts: List[float] = []
+        if self.delay > 0:
+            pts.append(self.delay)
+        k = 0
+        while True:
+            base = self.delay + k * self.period
+            if base >= t_end:
+                break
+            for offset in (
+                self.rise,
+                self.rise + self.width,
+                self.rise + self.width + self.fall,
+                self.period,
+            ):
+                bp = base + offset
+                if 0.0 < bp < t_end:
+                    pts.append(bp)
+            k += 1
+            if k > 1_000_000:  # pragma: no cover - defensive bound
+                break
+        return sorted(set(pts))
+
+    def __repr__(self) -> str:
+        return (
+            f"PULSE(v1={self.v1:g}, v2={self.v2:g}, delay={self.delay:g}, "
+            f"rise={self.rise:g}, fall={self.fall:g}, width={self.width:g}, "
+            f"period={self.period:g})"
+        )
+
+
+class SIN(Waveform):
+    """SPICE SIN waveform ``offset + amplitude * sin(2*pi*freq*(t-delay))``.
+
+    An optional exponential damping factor ``theta`` is supported as in the
+    SPICE card ``SIN(offset amplitude freq delay theta)``.
+    """
+
+    def __init__(
+        self,
+        offset: float,
+        amplitude: float,
+        freq: float,
+        delay: float = 0.0,
+        theta: float = 0.0,
+    ):
+        if freq <= 0:
+            raise ValueError("SIN frequency must be positive")
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.freq = float(freq)
+        self.delay = float(delay)
+        self.theta = float(theta)
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        tau = t - self.delay
+        damp = math.exp(-self.theta * tau) if self.theta else 1.0
+        return self.offset + self.amplitude * damp * math.sin(2.0 * math.pi * self.freq * tau)
+
+    def slope(self, t: float) -> float:
+        if t < self.delay:
+            return 0.0
+        tau = t - self.delay
+        w = 2.0 * math.pi * self.freq
+        if self.theta:
+            damp = math.exp(-self.theta * tau)
+            return self.amplitude * damp * (w * math.cos(w * tau) - self.theta * math.sin(w * tau))
+        return self.amplitude * w * math.cos(w * tau)
+
+    def breakpoints(self, t_end: float) -> List[float]:
+        if 0.0 < self.delay < t_end:
+            return [self.delay]
+        return []
+
+    def __repr__(self) -> str:
+        return (
+            f"SIN(offset={self.offset:g}, amplitude={self.amplitude:g}, "
+            f"freq={self.freq:g}, delay={self.delay:g}, theta={self.theta:g})"
+        )
+
+
+class EXP(Waveform):
+    """SPICE EXP waveform: two exponential ramps.
+
+    ``EXP(v1 v2 td1 tau1 td2 tau2)``: starts at ``v1``, at ``td1`` ramps
+    exponentially toward ``v2`` with time constant ``tau1``, and at ``td2``
+    ramps back toward ``v1`` with time constant ``tau2``.
+    """
+
+    def __init__(
+        self,
+        v1: float,
+        v2: float,
+        td1: float = 0.0,
+        tau1: float = 1e-9,
+        td2: float = 1e-9,
+        tau2: float = 1e-9,
+    ):
+        if tau1 <= 0 or tau2 <= 0:
+            raise ValueError("EXP time constants must be positive")
+        if td2 < td1:
+            raise ValueError("EXP second delay must not precede the first")
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.td1 = float(td1)
+        self.tau1 = float(tau1)
+        self.td2 = float(td2)
+        self.tau2 = float(tau2)
+
+    def value(self, t: float) -> float:
+        if t <= self.td1:
+            return self.v1
+        rising = self.v1 + (self.v2 - self.v1) * (1.0 - math.exp(-(t - self.td1) / self.tau1))
+        if t <= self.td2:
+            return rising
+        peak = self.v1 + (self.v2 - self.v1) * (1.0 - math.exp(-(self.td2 - self.td1) / self.tau1))
+        return self.v1 + (peak - self.v1) * math.exp(-(t - self.td2) / self.tau2)
+
+    def slope(self, t: float) -> float:
+        if t <= self.td1:
+            return 0.0
+        if t <= self.td2:
+            return (self.v2 - self.v1) / self.tau1 * math.exp(-(t - self.td1) / self.tau1)
+        peak = self.v1 + (self.v2 - self.v1) * (1.0 - math.exp(-(self.td2 - self.td1) / self.tau1))
+        return -(peak - self.v1) / self.tau2 * math.exp(-(t - self.td2) / self.tau2)
+
+    def breakpoints(self, t_end: float) -> List[float]:
+        return [t for t in (self.td1, self.td2) if 0.0 < t < t_end]
+
+    def __repr__(self) -> str:
+        return (
+            f"EXP(v1={self.v1:g}, v2={self.v2:g}, td1={self.td1:g}, "
+            f"tau1={self.tau1:g}, td2={self.td2:g}, tau2={self.tau2:g})"
+        )

@@ -1,0 +1,16 @@
+"""Core simulation layer: options, results and the simulator façade."""
+
+from repro.core.options import SimOptions, NewtonOptions, DCOptions
+from repro.core.results import SimulationResult, StepRecord, RunStatistics
+from repro.core.simulator import TransientSimulator, simulate
+
+__all__ = [
+    "SimOptions",
+    "NewtonOptions",
+    "DCOptions",
+    "SimulationResult",
+    "StepRecord",
+    "RunStatistics",
+    "TransientSimulator",
+    "simulate",
+]

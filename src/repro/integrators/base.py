@@ -1,0 +1,159 @@
+"""Integrator base class and the shared adaptive time-stepping loop.
+
+Every integration method implements a single abstract operation,
+:meth:`Integrator.advance` -- "produce one *accepted* step of size at most
+``h`` starting from ``(t, x)``" -- and reports how large a step it actually
+took and what it recommends for the next one.  The surrounding loop
+(:meth:`Integrator.run`) is method-agnostic: it clips proposed steps to
+source breakpoints (so the piecewise-linear input assumption of Eq. 13
+holds) and to the simulation horizon, records results and converts
+resource-exhaustion errors into a cleanly reported failure (the
+"Out of Memory" rows of Table I).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.mna import EvalResult, MNASystem
+from repro.core.options import SimOptions
+from repro.core.results import RunStatistics, SimulationResult, StepRecord
+from repro.linalg.sparse_lu import FactorizationBudgetExceeded
+
+__all__ = ["IntegratorError", "ConvergenceError", "StepOutcome", "Integrator"]
+
+
+class IntegratorError(RuntimeError):
+    """Base class for integration failures."""
+
+
+class ConvergenceError(IntegratorError):
+    """Raised when an iteration (Newton or step control) fails to converge."""
+
+
+@dataclass
+class StepOutcome:
+    """Result of one accepted step produced by :meth:`Integrator.advance`."""
+
+    x: np.ndarray
+    h_used: float
+    h_next: float
+    record: StepRecord
+
+
+class Integrator(ABC):
+    """Common machinery shared by all integration methods."""
+
+    #: short method name used in reports ("BENR", "ER", ...)
+    name: str = "base"
+
+    def __init__(self, mna: MNASystem, options: Optional[SimOptions] = None):
+        self.mna = mna
+        self.options = options if options is not None else SimOptions()
+        self._identity = sp.identity(mna.n, format="csc")
+        #: statistics accumulator; replaced by the result's accumulator in run()
+        self.stats = RunStatistics(method=self.name)
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    def evaluate(self, x: np.ndarray) -> EvalResult:
+        """Evaluate the circuit at ``x``, applying the optional gshunt.
+
+        A uniform shunt conductance ``gshunt`` to ground keeps ``G``
+        non-singular on circuits with floating nodes; it is added
+        consistently to both ``f(x)`` and ``G(x)`` so Jacobians stay exact.
+        """
+        ev = self.mna.evaluate(x)
+        gshunt = self.options.gshunt
+        if gshunt:
+            ev = EvalResult(
+                C=ev.C,
+                G=(ev.G + gshunt * self._identity).tocsc(),
+                f=ev.f + gshunt * x,
+                q=ev.q,
+            )
+        return ev
+
+    def source(self, t: float) -> np.ndarray:
+        """RHS excitation ``B u(t)``."""
+        return self.mna.source_vector(t)
+
+    def weighted_norm(self, delta: np.ndarray, reference: np.ndarray,
+                      abstol: float, reltol: float) -> float:
+        """Return ``max_i |delta_i| / (abstol + reltol * |reference_i|)``."""
+        scale = abstol + reltol * np.abs(reference)
+        return float(np.max(np.abs(delta) / scale)) if delta.size else 0.0
+
+    # -- abstract interface ------------------------------------------------------------
+
+    def prepare(self, x0: np.ndarray, t0: float) -> None:
+        """Hook called once before the time loop (multistep history, etc.)."""
+
+    @abstractmethod
+    def advance(self, x: np.ndarray, t: float, h: float) -> StepOutcome:
+        """Advance the solution by one accepted step of size at most ``h``.
+
+        Implementations may internally reject and shrink the step; the
+        outcome reports the step actually taken (``h_used <= h``) and the
+        recommended size of the next step (before clipping).
+        """
+
+    # -- the time loop --------------------------------------------------------------------
+
+    def run(self, x0: np.ndarray, result: Optional[SimulationResult] = None) -> SimulationResult:
+        """Integrate from ``t_start`` to ``t_stop`` starting at state ``x0``."""
+        opts = self.options
+        if result is None:
+            result = SimulationResult(
+                self.mna, method=self.name, store_states=opts.store_states,
+                observe_nodes=opts.observe_nodes,
+            )
+        # advance() implementations accumulate into self.stats; expose the
+        # result's accumulator so everything lands in one place.
+        self.stats = result.stats
+        self.stats.method = self.name
+        x = np.array(x0, dtype=float, copy=True)
+        t = opts.t_start
+        span = opts.span
+        h_min = opts.resolved_h_min()
+        h_max = opts.resolved_h_max()
+        h_next = min(opts.resolved_h_init(), h_max)
+
+        breakpoints = [bp for bp in self.mna.breakpoints(opts.t_stop) if bp > t]
+        breakpoints.append(opts.t_stop)
+
+        result.start_clock()
+        result.record_point(t, x)
+        self.prepare(x, t)
+
+        t_eps = 1e-12 * span
+        try:
+            while t < opts.t_stop - t_eps:
+                while breakpoints and breakpoints[0] <= t + t_eps:
+                    breakpoints.pop(0)
+                next_stop = breakpoints[0] if breakpoints else opts.t_stop
+                h = min(h_next, h_max, next_stop - t, opts.t_stop - t)
+                h = max(h, min(h_min, next_stop - t))
+
+                outcome = self.advance(x, t, h)
+                if outcome.h_used <= 0:
+                    raise IntegratorError(
+                        f"{self.name} returned a non-positive step size at t={t:g}"
+                    )
+                x = outcome.x
+                t += outcome.h_used
+                result.record_point(t, x)
+                result.record_step(outcome.record)
+                h_next = float(np.clip(outcome.h_next, h_min, h_max))
+            result.stats.completed = True
+        except (FactorizationBudgetExceeded, IntegratorError, np.linalg.LinAlgError) as exc:
+            result.stats.completed = False
+            result.stats.failure_reason = f"{type(exc).__name__}: {exc}"
+        finally:
+            result.stop_clock()
+        return result

@@ -1,0 +1,54 @@
+"""Explicit forward Euler.
+
+Included for completeness and for the stability experiments: as Sec. I of
+the paper recalls, explicit low-order schemes avoid solving the implicit
+system but their step size is restricted by stability on stiff circuits,
+which is exactly what the exponential integrators overcome while staying
+explicit.
+
+Forward Euler advances ``x_{k+1} = x_k + h C(x_k)^{-1} (B u(t_k) - f(x_k))``
+and therefore needs a *non-singular* capacitance matrix; on MNA systems
+with algebraic rows the caller must regularize first
+(:mod:`repro.linalg.regularization`).  The step size is fixed (no error
+control) -- use :class:`ExponentialRosenbrockEuler` or the implicit schemes
+for production runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import StepRecord
+from repro.integrators.base import Integrator, IntegratorError, StepOutcome
+from repro.linalg.sparse_lu import factorize
+
+__all__ = ["ForwardEuler"]
+
+
+class ForwardEuler(Integrator):
+    """Fixed-step explicit forward Euler (requires a non-singular ``C``)."""
+
+    name = "FE"
+
+    def advance(self, x: np.ndarray, t: float, h: float) -> StepOutcome:
+        ev = self.evaluate(x)
+        self.stats.device_evaluations += 1
+        try:
+            lu_C = factorize(
+                ev.C, stats=self.stats.lu,
+                max_factor_nnz=self.options.max_factor_nnz, label="C",
+            )
+        except np.linalg.LinAlgError as exc:
+            raise IntegratorError(
+                "forward Euler requires a non-singular capacitance matrix; "
+                "regularize the system first (see repro.linalg.regularization)"
+            ) from exc
+        dxdt = lu_C.solve(self.source(t) - ev.f)
+        x_new = x + h * dxdt
+        if not np.all(np.isfinite(x_new)):
+            raise IntegratorError(
+                f"forward Euler produced a non-finite state at t={t:g}; "
+                "the step size exceeds the stability limit of this stiff circuit"
+            )
+        record = StepRecord(t=t + h, h=h)
+        return StepOutcome(x=x_new, h_used=h, h_next=h, record=record)

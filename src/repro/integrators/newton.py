@@ -1,0 +1,117 @@
+"""Newton-Raphson solver for the implicit formulations and DC analysis.
+
+This is the workhorse of the BENR / TR / Gear baselines (Eq. 3 of the
+paper): every iteration linearizes the nonlinear residual, LU-factorizes
+the Jacobian (the ``C/h + G`` combination for BENR) and solves for the
+update.  SPICE-style device voltage limiting and optional damping keep the
+iteration robust on exponential device characteristics.
+
+All factorizations go through :func:`repro.linalg.sparse_lu.factorize` so
+the LU counts and fill-in that drive the paper's cost comparison are
+recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.mna import MNASystem
+from repro.core.options import NewtonOptions
+from repro.linalg.sparse_lu import LUStats, factorize
+
+__all__ = ["NewtonResult", "NewtonSolver"]
+
+#: callback type: ``x -> (residual T(x), Jacobian dT/dx)``
+ResidualJacobian = Callable[[np.ndarray], Tuple[np.ndarray, sp.spmatrix]]
+
+
+@dataclass
+class NewtonResult:
+    """Outcome of one Newton solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    update_norm: float
+
+
+class NewtonSolver:
+    """Damped Newton-Raphson with SPICE-style device limiting."""
+
+    def __init__(
+        self,
+        mna: MNASystem,
+        options: Optional[NewtonOptions] = None,
+        lu_stats: Optional[LUStats] = None,
+        max_factor_nnz: Optional[int] = None,
+    ):
+        self.mna = mna
+        self.options = options if options is not None else NewtonOptions()
+        self.lu_stats = lu_stats
+        self.max_factor_nnz = max_factor_nnz
+
+    # -- device limiting ----------------------------------------------------------------
+
+    def _apply_limiting(self, x_new: np.ndarray, x_old: np.ndarray) -> np.ndarray:
+        """Apply per-device junction/FET limiting to the proposed update."""
+        if not self.options.apply_limiting or not self.mna.circuit.devices:
+            return x_new
+        limited = np.array(x_new, copy=True)
+        for device in self.mna.circuit.devices:
+            for node in device.nodes:
+                idx = self.mna.node_index(node)
+                if idx < 0:
+                    continue
+                limited[idx] = device.limit_voltage(node, limited[idx], float(x_old[idx]))
+        return limited
+
+    # -- the iteration -------------------------------------------------------------------
+
+    def solve(
+        self,
+        x0: np.ndarray,
+        residual_jacobian: ResidualJacobian,
+        label: str = "Newton Jacobian",
+    ) -> NewtonResult:
+        """Solve ``T(x) = 0`` starting from ``x0``.
+
+        Convergence requires the weighted update norm
+        ``max_i |dx_i| / (abstol + reltol |x_i|) <= 1`` -- the standard
+        SPICE criterion -- or a residual below ``residual_tol``.
+        """
+        opts = self.options
+        x = np.array(x0, dtype=float, copy=True)
+        update_norm = np.inf
+        residual_norm = np.inf
+
+        for iteration in range(1, opts.max_iterations + 1):
+            residual, jacobian = residual_jacobian(x)
+            residual = np.asarray(residual, dtype=float).ravel()
+            residual_norm = float(np.max(np.abs(residual))) if residual.size else 0.0
+            if residual_norm <= opts.residual_tol:
+                return NewtonResult(x, True, iteration, residual_norm, 0.0)
+
+            lu = factorize(
+                jacobian.tocsc(), stats=self.lu_stats,
+                max_factor_nnz=self.max_factor_nnz, label=label,
+            )
+            dx = lu.solve(-residual)
+            if not np.all(np.isfinite(dx)):
+                return NewtonResult(x, False, iteration, residual_norm, np.inf)
+
+            x_proposed = x + opts.damping * dx
+            x_proposed = self._apply_limiting(x_proposed, x)
+            actual_dx = x_proposed - x
+            x = x_proposed
+
+            scale = opts.abstol + opts.reltol * np.abs(x)
+            update_norm = float(np.max(np.abs(actual_dx) / scale)) if actual_dx.size else 0.0
+            if update_norm <= 1.0:
+                return NewtonResult(x, True, iteration, residual_norm, update_norm)
+
+        return NewtonResult(x, False, opts.max_iterations, residual_norm, update_norm)

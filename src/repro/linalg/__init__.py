@@ -1,0 +1,60 @@
+"""Sparse linear algebra layer.
+
+This subpackage contains everything the integrators need beyond the raw
+scipy sparse primitives:
+
+* :mod:`repro.linalg.sparse_lu` -- an instrumented LU factorization
+  wrapper (counts, fill-in, timers, memory budget) so the cost model
+  behind the paper's Table I is observable;
+* :mod:`repro.linalg.phi` -- dense phi-functions
+  ``phi_0 = exp, phi_1, phi_2, ...`` used on the small Krylov Hessenberg
+  matrices (Eq. 9);
+* :mod:`repro.linalg.arnoldi` -- the shared Arnoldi process;
+* :mod:`repro.linalg.krylov` -- standard Krylov MEVP (the prior-work
+  baseline, Eq. 5-6), which requires a non-singular ``C``;
+* :mod:`repro.linalg.invert_krylov` -- the paper's invert Krylov subspace
+  MEVP (Algorithm 1, Eq. 18-22);
+* :mod:`repro.linalg.rational_krylov` -- shift-and-invert (rational)
+  Krylov MEVP, the MATEX reference point used in the ablation;
+* :mod:`repro.linalg.regularization` -- singular-``C`` handling required
+  by the standard Krylov baseline (the step the paper's method avoids).
+"""
+
+from repro.linalg.sparse_lu import (
+    FactorizationBudgetExceeded,
+    LUStats,
+    SparseLU,
+    factorize,
+)
+from repro.linalg.phi import phi_functions, phi_scalar, phi_times_vector, expm_dense
+from repro.linalg.arnoldi import ArnoldiProcess, ArnoldiBreakdown
+from repro.linalg.krylov import StandardKrylovMEVP, KrylovResult, MEVPStats
+from repro.linalg.invert_krylov import InvertKrylovMEVP, IKSBasis
+from repro.linalg.rational_krylov import RationalKrylovMEVP
+from repro.linalg.regularization import (
+    eliminate_algebraic,
+    epsilon_regularize,
+    ReducedLinearSystem,
+)
+
+__all__ = [
+    "FactorizationBudgetExceeded",
+    "LUStats",
+    "SparseLU",
+    "factorize",
+    "phi_functions",
+    "phi_scalar",
+    "phi_times_vector",
+    "expm_dense",
+    "MEVPStats",
+    "ArnoldiProcess",
+    "ArnoldiBreakdown",
+    "StandardKrylovMEVP",
+    "KrylovResult",
+    "InvertKrylovMEVP",
+    "IKSBasis",
+    "RationalKrylovMEVP",
+    "eliminate_algebraic",
+    "epsilon_regularize",
+    "ReducedLinearSystem",
+]

@@ -1,0 +1,292 @@
+"""Invert Krylov subspace MEVP -- Algorithm 1 of the paper.
+
+The matrix exponential and vector product (MEVP) ``e^{hJ} v`` with
+``J = -C^{-1} G`` is approximated in the Krylov space of the *inverse*
+Jacobian
+
+.. math::
+
+    K_m(J^{-1}, v) = \\mathrm{span}\\{v, -G^{-1}C v, (-G^{-1}C)^2 v, ...\\}
+    \\qquad (\\text{Eq. 18})
+
+so that
+
+* only ``G`` is LU-factorized (never ``C`` and never ``C/h + G``),
+* a singular ``C`` needs no regularization,
+* the spectrum sampling favours the small-magnitude eigenvalues of ``J``
+  that dominate the transient response of stiff circuits (Sec. IV).
+
+The projected approximation is ``e^{hJ} v ≈ beta · V_m e^{h H_m^{-1}} e_1``
+(Eq. 20) and the Arnoldi iteration is terminated by the KCL/KVL residual
+
+.. math::
+
+    r_m(h) = -beta\\, h_{m+1,m} \\, G v_{m+1}\\, e_m^T H_m^{-1}
+             e^{h H_m^{-1}} e_1 \\qquad (\\text{Eq. 22}).
+
+Because the step size ``h`` enters only through the *small dense*
+exponential, a built basis is valid for every ``h``: when the integrator
+rejects a step and shrinks ``h`` it simply re-evaluates
+:meth:`IKSBasis.mevp` -- no new LU factorization, no new Arnoldi run
+(the "(time-step) scaling-invariant property" the paper exploits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.arnoldi import ArnoldiBreakdown, ArnoldiProcess
+from repro.linalg.krylov import MEVPStats
+from repro.linalg.phi import expm_dense
+from repro.linalg.sparse_lu import SparseLU
+
+__all__ = ["IKSBasis", "InvertKrylovMEVP"]
+
+
+class IKSBasis:
+    """An invert-Krylov basis built for one vector ``v`` (reusable across ``h``)."""
+
+    def __init__(self, process: ArnoldiProcess, C: sp.spmatrix, G: sp.spmatrix,
+                 stats: Optional[MEVPStats] = None):
+        self._process = process
+        self._C = C
+        self._G = G
+        self._stats = stats
+        self.beta = process.beta
+        #: dimension at which the last convergence check succeeded
+        self.converged_dimension: Optional[int] = None
+        # caches keyed by the current dimension / (dimension, h)
+        self._hinv_cache: Dict[int, Optional[np.ndarray]] = {}
+        self._propagator_cache: Dict[Tuple[int, float], Tuple[np.ndarray, float]] = {}
+        self._gv_norm_cache: Dict[int, float] = {}
+
+    # -- small dense helpers ----------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        return self._process.m
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the MEVP argument was the zero vector."""
+        return self.beta == 0.0
+
+    def _hessenberg_inverse(self, m: int) -> Optional[np.ndarray]:
+        """Return ``H_m^{-1}``; None if ``H_m`` is (numerically) singular."""
+        if m in self._hinv_cache:
+            return self._hinv_cache[m]
+        Hm = self._process.hessenberg(m)
+        try:
+            cond = np.linalg.cond(Hm)
+        except np.linalg.LinAlgError:
+            cond = np.inf
+        hinv = np.linalg.inv(Hm) if np.isfinite(cond) and cond < 1e12 else None
+        self._hinv_cache[m] = hinv
+        return hinv
+
+    def _propagator(self, m: int, h: float) -> Tuple[np.ndarray, float]:
+        """Return ``(e^{h H_m^{-1}} e_1,  e_m^T H_m^{-1} e^{h H_m^{-1}} e_1)``.
+
+        For a well-conditioned ``H_m`` the dense inverse + matrix exponential
+        is used directly.  When ``H_m`` is (nearly) singular -- which happens
+        whenever the Krylov space picks up a null direction of ``C`` (the
+        algebraic, "infinitely fast" DAE modes of a circuit with singular
+        capacitance matrix) -- the propagator is evaluated through the
+        eigen-decomposition with the correct DAE limit ``exp(h/lambda) -> 0``
+        as ``lambda -> 0^-``: the algebraic modes relax instantly and
+        contribute nothing to the propagated state.
+        """
+        key = (m, float(h))
+        if key in self._propagator_cache:
+            return self._propagator_cache[key]
+
+        Hm = self._process.hessenberg(m)
+        e1 = np.zeros(m)
+        e1[0] = 1.0
+        hinv = self._hessenberg_inverse(m)
+        col: Optional[np.ndarray] = None
+        res_scalar = np.inf
+        if hinv is not None and np.max(np.abs(h * hinv)) < 1e8:
+            col = expm_dense(h * hinv)[:, 0]
+            if np.all(np.isfinite(col)):
+                res_scalar = float(hinv[m - 1, :] @ col)
+            else:
+                col = None
+        if col is None:
+            # Eigenvalue-based evaluation with the singular-mode limit.  Modes
+            # whose projected eigenvalue is (numerically) zero are the
+            # algebraic DAE modes: they relax instantly, exp(h/lambda) -> 0.
+            # Modes whose exponent would *grow* enormously over one step can
+            # only be rounding artefacts of that same near-singularity in a
+            # passive circuit and are treated the same way.
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                eigvals, eigvecs = np.linalg.eig(Hm)
+                coeffs = np.linalg.solve(eigvecs, e1.astype(complex))
+                scale = np.max(np.abs(eigvals)) if m else 1.0
+                tiny = np.abs(eigvals) <= 1e-13 * max(scale, 1e-300)
+                safe_eigvals = np.where(tiny, 1.0, eigvals)
+                exponent = h / safe_eigvals
+                spurious = tiny | (exponent.real > 50.0)
+                exponent = np.clip(exponent.real, -745.0, 50.0) + 1j * exponent.imag
+                fvals = np.where(spurious, 0.0, np.exp(exponent))
+                gvals = np.where(spurious, 0.0, fvals / safe_eigvals)
+                col = np.real(eigvecs @ (fvals * coeffs))
+                res_vec = np.real(eigvecs @ (gvals * coeffs))
+                res_scalar = float(res_vec[m - 1])
+            if not np.all(np.isfinite(col)):
+                raise np.linalg.LinAlgError(
+                    f"invert-Krylov propagator evaluation failed at dimension {m}"
+                )
+        result = (col, res_scalar)
+        self._propagator_cache[key] = result
+        return result
+
+    def _g_vnext_norm(self, m: int) -> float:
+        if m not in self._gv_norm_cache:
+            v_next = self._process.next_basis_vector(m)
+            self._gv_norm_cache[m] = float(np.linalg.norm(self._G @ v_next))
+        return self._gv_norm_cache[m]
+
+    # -- Eq. 20 / Eq. 22 ------------------------------------------------------------------
+
+    def mevp(self, h: float, m: Optional[int] = None) -> np.ndarray:
+        """Return the approximation of ``e^{hJ} v`` (Eq. 20) at dimension ``m``."""
+        if self.is_zero:
+            return np.zeros(self._process.n)
+        m = self.dimension if m is None else int(m)
+        if m < 1:
+            raise ValueError("cannot evaluate an MEVP on an empty Krylov basis")
+        col, _ = self._propagator(m, h)
+        return self.beta * (self._process.basis(m) @ col)
+
+    def residual_norm(self, h: float, m: Optional[int] = None) -> float:
+        """Return ``||r_m(h)||_2`` of the KCL/KVL residual (Eq. 22)."""
+        if self.is_zero:
+            return 0.0
+        m = self.dimension if m is None else int(m)
+        if m < 1:
+            return np.inf
+        if self._process.breakdown and m >= self.dimension:
+            # Happy breakdown: the subspace is invariant, approximation exact.
+            return 0.0
+        try:
+            _, scalar = self._propagator(m, h)
+        except np.linalg.LinAlgError:
+            return np.inf
+        if not np.isfinite(scalar):
+            return np.inf
+        h_sub = self._process.subdiagonal(m)
+        return self.beta * abs(h_sub) * self._g_vnext_norm(m) * abs(scalar)
+
+    # -- phi-function products (Eq. 23) ------------------------------------------------------
+
+    def phi1_times(self, h: float, v: np.ndarray, m: Optional[int] = None) -> np.ndarray:
+        """Return ``h * phi_1(hJ) v`` assuming this basis was built from ``v``.
+
+        Uses ``h φ1(hJ) v = (hJ)^{-1}(e^{hJ} - I) h v``; in the projected
+        space ``(hJ)^{-1}`` becomes ``H_m / h``-free because the basis is of
+        ``J^{-1}`` -- concretely
+        ``h φ1(hJ) v ≈ beta V_m H_m (e^{h H_m^{-1}} - I) e_1``.
+        """
+        if self.is_zero:
+            return np.zeros_like(np.asarray(v, dtype=float))
+        m = self.dimension if m is None else int(m)
+        col, _ = self._propagator(m, h)
+        Hm = self._process.hessenberg(m)
+        e1 = np.zeros(m)
+        e1[0] = 1.0
+        small = Hm @ (col - e1)
+        return self.beta * (self._process.basis(m) @ small)
+
+    # -- adaptive construction ------------------------------------------------------------------
+
+    def ensure_converged(self, h: float, tol: float, max_dim: Optional[int] = None) -> bool:
+        """Extend the basis until the Eq. 22 residual is below ``tol``.
+
+        Returns True on convergence.  Counts every extension as one
+        operator application in the shared stats.
+        """
+        if self.is_zero:
+            self.converged_dimension = 0
+            return True
+        process = self._process
+        max_dim = process.max_dim if max_dim is None else min(int(max_dim), process.max_dim)
+        while True:
+            m = self.dimension
+            if m >= 1 and self.residual_norm(h, m) <= tol:
+                self.converged_dimension = m
+                return True
+            if m >= max_dim or process.breakdown:
+                self.converged_dimension = m
+                return process.breakdown
+            try:
+                process.extend()
+                if self._stats is not None:
+                    self._stats.num_operator_applications += 1
+            except ArnoldiBreakdown:
+                self.converged_dimension = self.dimension
+                return True
+
+
+class InvertKrylovMEVP:
+    """Factory for invert-Krylov bases sharing one ``G`` factorization.
+
+    Parameters
+    ----------
+    C, G:
+        The linearized capacitance and conductance matrices at the current
+        state ``x_k``.
+    lu_G:
+        LU factorization of ``G`` (the only factorization the method needs,
+        performed once per accepted time step and reused for every MEVP of
+        that step -- Algorithm 2, line 5).
+    stats:
+        Shared :class:`MEVPStats` accumulator (provides ``#m_a``).
+    max_dim:
+        Hard cap on the subspace dimension.
+    """
+
+    def __init__(
+        self,
+        C: sp.spmatrix,
+        G: sp.spmatrix,
+        lu_G: SparseLU,
+        stats: Optional[MEVPStats] = None,
+        max_dim: int = 100,
+    ):
+        self.C = C.tocsc()
+        self.G = G.tocsc()
+        self.lu_G = lu_G
+        self.stats = stats
+        self.max_dim = int(max_dim)
+
+    def _apply(self, v: np.ndarray) -> np.ndarray:
+        """One Algorithm 1, line 3 application: solve ``-G w = C v``."""
+        return -self.lu_G.solve(np.asarray(self.C @ v).ravel())
+
+    def build(self, v: np.ndarray, h: float, tol: float = 1e-7,
+              max_dim: Optional[int] = None) -> IKSBasis:
+        """Run Algorithm 1 for the vector ``v`` and step size ``h``.
+
+        Returns the (possibly still extendable) basis; statistics are
+        recorded with the dimension reached at convergence.
+        """
+        v = np.asarray(v, dtype=float).ravel()
+        limit = self.max_dim if max_dim is None else int(max_dim)
+        process = ArnoldiProcess(self._apply, v, max_dim=limit)
+        basis = IKSBasis(process, self.C, self.G, stats=self.stats)
+        converged = basis.ensure_converged(h, tol, max_dim=limit)
+        if self.stats is not None:
+            self.stats.record(basis.dimension, converged)
+        return basis
+
+    def expm_multiply(self, v: np.ndarray, h: float, tol: float = 1e-7,
+                      max_dim: Optional[int] = None) -> np.ndarray:
+        """Convenience one-shot ``e^{hJ} v`` evaluation."""
+        basis = self.build(v, h, tol=tol, max_dim=max_dim)
+        if basis.is_zero:
+            return np.zeros_like(np.asarray(v, dtype=float))
+        return basis.mevp(h)

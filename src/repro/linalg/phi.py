@@ -1,0 +1,186 @@
+"""Dense phi-functions of the exponential integrator family.
+
+The phi-functions are defined (paper Eq. 8-9, Hochbruck & Ostermann 2010)
+by
+
+.. math::
+
+    \\varphi_0(z) = e^z, \\qquad
+    \\varphi_i(z) = \\int_0^1 e^{z(1-s)} \\frac{s^{i-1}}{(i-1)!} ds,
+
+equivalently the recurrence ``phi_{i+1}(z) = (phi_i(z) - 1/i!) / z``.
+
+Inside the Krylov-projected exponential integrators these functions are
+only ever needed for *small dense* matrices (the ``m x m`` Hessenberg
+matrices, ``m`` being a few tens), so a dense augmented-matrix
+evaluation via :func:`scipy.linalg.expm` is both accurate and cheap.
+Scalar and series variants are provided for testing and for step-size
+heuristics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = ["expm_dense", "phi_scalar", "phi_functions", "phi_times_vector"]
+
+
+def expm_dense(matrix: np.ndarray) -> np.ndarray:
+    """Dense matrix exponential (thin wrapper kept for instrumentation).
+
+    Overflow of the intermediate squaring products (the transient "hump" of
+    strongly non-normal arguments, e.g. projections of badly regularized
+    DAE Jacobians) is silenced; callers detect the resulting non-finite
+    entries and treat them as "not converged / not usable".
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        return sla.expm(np.asarray(matrix, dtype=float))
+
+
+def phi_scalar(z: float, order: int) -> float:
+    """Evaluate ``phi_order`` at a scalar argument.
+
+    Uses the closed forms for small ``|z|``-safe evaluation: a Taylor
+    series is used below a threshold to avoid catastrophic cancellation in
+    ``(e^z - 1)/z``-type expressions.
+    """
+    if order < 0:
+        raise ValueError("phi order must be non-negative")
+    if order == 0:
+        return math.exp(z)
+    if abs(z) < 1e-5:
+        # phi_k(z) = sum_{j>=0} z^j / (j+k)!
+        total = 0.0
+        term = 1.0 / math.factorial(order)
+        for j in range(8):
+            if j > 0:
+                term *= z / (j + order)
+            total += term
+        return total
+    # downward use of the recurrence phi_{k}(z) = (phi_{k-1}(z) - 1/(k-1)!)/z
+    value = math.exp(z)
+    for k in range(1, order + 1):
+        value = (value - 1.0 / math.factorial(k - 1)) / z
+    return value
+
+
+def phi_functions(matrix: np.ndarray, max_order: int) -> List[np.ndarray]:
+    """Return ``[phi_0(A), phi_1(A), ..., phi_max_order(A)]`` for a dense ``A``.
+
+    Uses the augmented-matrix construction: with
+
+    .. math::
+
+        W = \\begin{pmatrix} A & I & 0 & \\cdots \\\\
+                              0 & 0 & I &        \\\\
+                              0 & 0 & 0 & \\ddots \\\\ \\end{pmatrix}
+
+    the top block row of ``exp(W)`` contains ``e^A, phi_1(A), phi_2(A), ...``.
+    """
+    A = np.asarray(matrix, dtype=float)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(f"phi_functions expects a square matrix, got shape {A.shape}")
+    if max_order < 0:
+        raise ValueError("max_order must be non-negative")
+    m = A.shape[0]
+    if max_order == 0:
+        return [expm_dense(A)]
+
+    # phi_k is obtained from the recurrence phi_k(A) = A^{-1}(phi_{k-1}(A) -
+    # I/(k-1)!) when A is well conditioned, and from a scaled Taylor series
+    # otherwise (the recurrence is unusable for singular arguments, e.g. a
+    # Jacobian with a zero eigenvalue).
+    phis = [expm_dense(A)]
+    eye = np.eye(m)
+    try:
+        lu, piv = sla.lu_factor(A)
+        cond_ok = bool(np.all(np.abs(np.diag(lu)) > 1e-12 * max(1.0, np.abs(A).max())))
+    except (ValueError, np.linalg.LinAlgError):
+        cond_ok = False
+    if cond_ok:
+        for k in range(1, max_order + 1):
+            rhs = phis[k - 1] - eye / math.factorial(k - 1)
+            phis.append(sla.lu_solve((lu, piv), rhs))
+        return phis
+    for k in range(1, max_order + 1):
+        phis.append(_phi_series_matrix(A, k))
+    return phis
+
+
+def _phi_series_matrix(A: np.ndarray, order: int, terms: int = 30) -> np.ndarray:
+    """Taylor-series evaluation of ``phi_order(A)`` with scaling-and-squaring.
+
+    ``phi_k(A) = sum_{j>=0} A^j / (j+k)!``.  For moderate norms this
+    converges quickly; for larger norms the argument is scaled by ``2^-s``
+    and recombined with the doubling formulas
+    ``phi_0(2z) = phi_0(z)^2`` and
+    ``phi_1(2z) = (phi_0(z) + I) phi_1(z) / 2``,
+    ``phi_2(2z) = (phi_0(z) phi_2(z) + phi_1(z) + phi_2(z)) / 4``.
+    """
+    norm = np.linalg.norm(A, 1)
+    s = max(0, int(math.ceil(math.log2(max(norm, 1e-300)))) if norm > 1.0 else 0)
+    As = A / (2 ** s) if s else A
+
+    m = A.shape[0]
+    eye = np.eye(m)
+    # series for phi_0..phi_order at the scaled argument
+    phis = []
+    for k in range(order + 1):
+        acc = np.zeros_like(As)
+        term = eye / math.factorial(k)
+        acc += term
+        power = eye
+        for j in range(1, terms):
+            power = power @ As
+            acc += power / math.factorial(j + k)
+        phis.append(acc)
+
+    for _ in range(s):
+        new0 = phis[0] @ phis[0]
+        new_list = [new0]
+        if order >= 1:
+            new_list.append(0.5 * (phis[0] @ phis[1] + phis[1]))
+        if order >= 2:
+            new_list.append(0.25 * (phis[0] @ phis[2] + phis[1] + phis[2]))
+        if order >= 3:
+            # general doubling is not needed beyond phi_2 in this code base
+            for k in range(3, order + 1):
+                new_list.append(_phi_series_matrix(A, k, terms=terms * 2))
+            phis = new_list
+            break
+        phis = new_list
+    return phis[order]
+
+
+def phi_times_vector(matrix: np.ndarray, vector: np.ndarray, order: int) -> np.ndarray:
+    """Return ``phi_order(A) v`` for a small dense ``A`` using the augmented trick.
+
+    For ``order >= 1`` this uses the well-known identity
+
+    .. math::
+
+        \\exp\\begin{pmatrix} A & v & 0 \\\\ 0 & 0 & I \\\\ 0 & 0 & 0 \\end{pmatrix}
+        e_{m+order} = \\sum ...
+
+    i.e. the last column of the exponential of an augmented matrix holds
+    ``phi_1(A) v, ..., phi_order(A) v`` stacked appropriately.
+    """
+    A = np.asarray(matrix, dtype=float)
+    v = np.asarray(vector, dtype=float).ravel()
+    m = A.shape[0]
+    if v.shape[0] != m:
+        raise ValueError("matrix and vector dimensions do not match")
+    if order == 0:
+        return expm_dense(A) @ v
+    size = m + order
+    W = np.zeros((size, size))
+    W[:m, :m] = A
+    W[:m, m] = v
+    for k in range(order - 1):
+        W[m + k, m + k + 1] = 1.0
+    E = expm_dense(W)
+    return E[:m, m + order - 1]

@@ -1,0 +1,151 @@
+"""Rational (shift-and-invert) Krylov MEVP.
+
+The paper cites the MATEX power-grid work [18, 19], where the
+*rational* Krylov subspace
+
+.. math::
+
+    K_m\\big((I - \\gamma J)^{-1}, v\\big)
+
+converges in the fewest dimensions and supports the longest steps, but
+needs a factorization of ``(C + \\gamma G)`` -- structurally the same kind
+of matrix the BENR baseline factorizes.  The invert Krylov method is the
+runner-up in convergence while only needing ``G``.  This module
+implements the rational variant so that ablation benchmark A can place
+all three strategies side by side (convergence dimension vs. cost of the
+factorized matrix).
+
+With ``J = -C^{-1} G`` the shifted inverse is applied as
+
+.. math::
+
+    (I - \\gamma J)^{-1} v = (C + \\gamma G)^{-1} C v,
+
+and from the Arnoldi relation the projected propagator is
+
+.. math::
+
+    e^{hJ} v \\approx beta\\, V_m \\exp\\!\\big(h (I - H_m^{-1}) / \\gamma\\big) e_1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.arnoldi import ArnoldiBreakdown, ArnoldiProcess
+from repro.linalg.krylov import KrylovResult, MEVPStats
+from repro.linalg.phi import expm_dense
+from repro.linalg.sparse_lu import SparseLU, factorize
+
+__all__ = ["RationalKrylovMEVP"]
+
+
+class RationalKrylovMEVP:
+    """MEVP via the shift-and-invert Krylov subspace of ``(I - gamma*J)^{-1}``."""
+
+    def __init__(
+        self,
+        C: sp.spmatrix,
+        G: sp.spmatrix,
+        gamma: float,
+        lu_shifted: Optional[SparseLU] = None,
+        stats: Optional[MEVPStats] = None,
+        max_dim: int = 100,
+    ):
+        if gamma <= 0:
+            raise ValueError("rational Krylov shift gamma must be positive")
+        self.C = C.tocsc()
+        self.G = G.tocsc()
+        self.gamma = float(gamma)
+        self.stats = stats
+        self.max_dim = int(max_dim)
+        #: the factorized shifted matrix (C + gamma G); note this is the same
+        #: kind of combined matrix BENR factorizes, which is the cost the
+        #: invert Krylov strategy avoids.
+        self.lu_shifted = (
+            lu_shifted
+            if lu_shifted is not None
+            else factorize((self.C + self.gamma * self.G).tocsc(), label="C+gamma*G")
+        )
+
+    def _apply(self, v: np.ndarray) -> np.ndarray:
+        if self.stats is not None:
+            self.stats.num_operator_applications += 1
+        return self.lu_shifted.solve(np.asarray(self.C @ v).ravel())
+
+    def _project(self, process: ArnoldiProcess, m: int, h: float) -> Optional[np.ndarray]:
+        """Return ``exp(h (I - H_m^{-1})/gamma) e_1`` or None if singular."""
+        Hm = process.hessenberg(m)
+        try:
+            cond = np.linalg.cond(Hm)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.isfinite(cond) or cond > 1e14:
+            return None
+        hinv = np.linalg.inv(Hm)
+        small = (np.eye(m) - hinv) / self.gamma
+        return expm_dense(h * small)[:, 0]
+
+    def expm_multiply(
+        self,
+        v: np.ndarray,
+        h: float,
+        tol: float = 1e-7,
+        max_dim: Optional[int] = None,
+    ) -> KrylovResult:
+        """Approximate ``e^{hJ} v``.
+
+        Convergence is monitored by the norm difference between the
+        approximations at consecutive dimensions, the customary posterior
+        estimate for shift-and-invert Krylov methods.
+        """
+        v = np.asarray(v, dtype=float).ravel()
+        max_dim = self.max_dim if max_dim is None else int(max_dim)
+        process = ArnoldiProcess(self._apply, v, max_dim=max_dim)
+        beta = process.beta
+        if beta == 0.0:
+            if self.stats is not None:
+                self.stats.record(0, True)
+            return KrylovResult(np.zeros_like(v), 0, 0.0, True)
+
+        previous = None
+        err = np.inf
+        converged = False
+        approx = np.zeros_like(v)
+        while True:
+            try:
+                process.extend()
+            except ArnoldiBreakdown:
+                m = process.m
+                col = self._project(process, m, h)
+                if col is not None:
+                    approx = beta * process.basis(m) @ col
+                err = 0.0
+                converged = True
+                break
+            except RuntimeError:
+                break
+            m = process.m
+            col = self._project(process, m, h)
+            if col is None:
+                if m >= max_dim:
+                    break
+                continue
+            approx = beta * process.basis(m) @ col
+            if previous is not None:
+                err = float(np.linalg.norm(approx - previous))
+                if err <= tol * max(1.0, float(np.linalg.norm(approx))):
+                    converged = True
+                    break
+            previous = approx
+            if m >= max_dim:
+                break
+
+        m = process.m
+        if self.stats is not None:
+            self.stats.record(m, converged)
+        return KrylovResult(vector=approx, dimension=m, error_estimate=float(err),
+                            converged=converged)

@@ -1,0 +1,188 @@
+"""Singular capacitance-matrix handling for the standard-Krylov baseline.
+
+MNA capacitance matrices of realistic circuits are singular: nodes with
+no capacitive path to anywhere and the branch rows of voltage sources
+have empty ``C`` rows/columns.  The standard Krylov MEVP (and the prior
+matrix-exponential simulators [20], [21]) need ``C^{-1}``, so they must
+first *regularize* the system -- the step the paper points out is
+"time-consuming and impractical for large designs" and which the invert
+Krylov method removes entirely.
+
+Two standard techniques are provided:
+
+* :func:`eliminate_algebraic` -- exact elimination of purely algebraic
+  unknowns for *linear* systems, following the partitioning idea of
+  Chen et al. [22]: unknowns whose ``C`` row and column are empty are
+  expressed through the algebraic equations and substituted away,
+  producing a smaller ODE system with a non-singular capacitance matrix.
+* :func:`epsilon_regularize` -- pseudo-capacitance regularization: a small
+  capacitance is added to empty diagonal entries.  Cheap but perturbs the
+  dynamics; used only to let the baseline run on nonlinear circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.sparse_lu import LUStats, factorize
+
+__all__ = ["ReducedLinearSystem", "eliminate_algebraic", "epsilon_regularize"]
+
+
+def _algebraic_indices(C: sp.spmatrix, tol: float = 0.0) -> np.ndarray:
+    """Return indices whose row *and* column of ``C`` are (numerically) empty."""
+    C = C.tocsc()
+    col_norm = np.asarray(np.abs(C).sum(axis=0)).ravel()
+    row_norm = np.asarray(np.abs(C).sum(axis=1)).ravel()
+    scale = max(float(np.abs(C.data).max()) if C.nnz else 0.0, 1e-300)
+    mask = (col_norm <= tol * scale) & (row_norm <= tol * scale)
+    return np.nonzero(mask)[0]
+
+
+@dataclass
+class ReducedLinearSystem:
+    """A linear MNA system with the algebraic unknowns eliminated.
+
+    The original system ``C x' + G x = B u`` is partitioned into dynamic
+    (``d``) and algebraic (``a``) unknowns with ``C_aa = C_ad = C_da = 0``;
+    the algebraic rows give ``x_a = G_aa^{-1} ((B u)_a - G_ad x_d)`` and
+    substitution yields the reduced ODE
+
+    ``C_dd x_d' + (G_dd - G_da G_aa^{-1} G_ad) x_d
+        = (B u)_d - G_da G_aa^{-1} (B u)_a``.
+    """
+
+    dynamic_indices: np.ndarray
+    algebraic_indices: np.ndarray
+    C_red: sp.csc_matrix
+    G_red: sp.csc_matrix
+    B_red: sp.csc_matrix
+    #: dense coupling operator ``G_da G_aa^{-1}`` applied to algebraic RHS rows
+    _gaa_lu: object
+    _G_ad: sp.csc_matrix
+    _G_da: sp.csc_matrix
+    _B_alg: sp.csc_matrix
+    n_full: int
+
+    @property
+    def n_reduced(self) -> int:
+        return len(self.dynamic_indices)
+
+    def reduce_state(self, x_full: np.ndarray) -> np.ndarray:
+        """Project a full state vector onto the dynamic unknowns."""
+        return np.asarray(x_full, dtype=float)[self.dynamic_indices]
+
+    def algebraic_part(self, x_dynamic: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Recover ``x_a`` from the dynamic state and the input vector ``u``."""
+        rhs = np.asarray(self._B_alg @ u).ravel() - np.asarray(self._G_ad @ x_dynamic).ravel()
+        return self._gaa_lu.solve(rhs)
+
+    def reconstruct(self, x_dynamic: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Assemble the full-order state from the reduced one."""
+        x = np.zeros(self.n_full)
+        x[self.dynamic_indices] = x_dynamic
+        if len(self.algebraic_indices):
+            x[self.algebraic_indices] = self.algebraic_part(x_dynamic, u)
+        return x
+
+
+def eliminate_algebraic(
+    C: sp.spmatrix,
+    G: sp.spmatrix,
+    B: sp.spmatrix,
+    stats: Optional[LUStats] = None,
+    tol: float = 0.0,
+) -> ReducedLinearSystem:
+    """Eliminate purely algebraic unknowns from a *linear* MNA system.
+
+    Raises
+    ------
+    ValueError
+        If an algebraic unknown couples into ``C`` through an off-diagonal
+        entry (the simple partitioning is then not applicable), or if the
+        algebraic block ``G_aa`` is singular.
+    """
+    C = C.tocsc()
+    G = G.tocsc()
+    B = B.tocsc()
+    n = C.shape[0]
+    alg = _algebraic_indices(C, tol=tol)
+    dyn = np.setdiff1d(np.arange(n), alg)
+
+    if len(alg) == 0:
+        return ReducedLinearSystem(
+            dynamic_indices=dyn, algebraic_indices=alg,
+            C_red=C, G_red=G, B_red=B,
+            _gaa_lu=None, _G_ad=sp.csc_matrix((0, n)), _G_da=sp.csc_matrix((n, 0)),
+            _B_alg=sp.csc_matrix((0, B.shape[1])), n_full=n,
+        )
+
+    C_dd = C[np.ix_(dyn, dyn)].tocsc()
+    # sanity: algebraic rows/columns of C really are empty
+    if abs(C[np.ix_(alg, alg)]).sum() + abs(C[np.ix_(alg, dyn)]).sum() \
+            + abs(C[np.ix_(dyn, alg)]).sum() > 0:
+        raise ValueError("algebraic unknowns couple through C; cannot eliminate exactly")
+
+    G_dd = G[np.ix_(dyn, dyn)].tocsc()
+    G_da = G[np.ix_(dyn, alg)].tocsc()
+    G_ad = G[np.ix_(alg, dyn)].tocsc()
+    G_aa = G[np.ix_(alg, alg)].tocsc()
+    B_dyn = B[dyn, :].tocsc()
+    B_alg = B[alg, :].tocsc()
+
+    try:
+        gaa_lu = factorize(G_aa, stats=stats, label="G_aa (regularization)")
+    except np.linalg.LinAlgError as exc:
+        raise ValueError(
+            "algebraic block G_aa is singular; the circuit has a floating "
+            "algebraic subnetwork and cannot be regularized by elimination"
+        ) from exc
+
+    # Schur complement G_dd - G_da G_aa^{-1} G_ad and the matching input map.
+    if len(alg):
+        X = gaa_lu.solve_many(G_ad.toarray()) if G_ad.nnz else np.zeros((len(alg), len(dyn)))
+        Y = gaa_lu.solve_many(B_alg.toarray()) if B_alg.nnz else np.zeros((len(alg), B.shape[1]))
+        G_red = (G_dd - sp.csc_matrix(G_da @ X)).tocsc()
+        B_red = (B_dyn - sp.csc_matrix(G_da @ Y)).tocsc()
+    else:  # pragma: no cover - handled by the early return above
+        G_red, B_red = G_dd, B_dyn
+
+    return ReducedLinearSystem(
+        dynamic_indices=dyn,
+        algebraic_indices=alg,
+        C_red=C_dd,
+        G_red=G_red,
+        B_red=B_red,
+        _gaa_lu=gaa_lu,
+        _G_ad=G_ad,
+        _G_da=G_da,
+        _B_alg=B_alg,
+        n_full=n,
+    )
+
+
+def epsilon_regularize(C: sp.spmatrix, epsilon: Optional[float] = None) -> sp.csc_matrix:
+    """Return ``C`` with a small pseudo-capacitance added to empty diagonal rows.
+
+    ``epsilon`` defaults to ``1e-6`` times the largest capacitance in ``C``
+    (or ``1e-18`` F if ``C`` is entirely empty).  The perturbation changes
+    the fast dynamics of the algebraic equations, which is why the paper
+    prefers to avoid regularization altogether.
+    """
+    C = C.tocsc(copy=True)
+    n = C.shape[0]
+    if epsilon is None:
+        epsilon = 1e-6 * float(np.abs(C.data).max()) if C.nnz else 1e-18
+    diag = C.diagonal()
+    row_norm = np.asarray(np.abs(C).sum(axis=1)).ravel()
+    col_norm = np.asarray(np.abs(C).sum(axis=0)).ravel()
+    needs = (np.abs(diag) == 0.0) & ((row_norm == 0.0) | (col_norm == 0.0))
+    idx = np.nonzero(needs)[0]
+    if len(idx) == 0:
+        return C
+    patch = sp.coo_matrix((np.full(len(idx), epsilon), (idx, idx)), shape=(n, n))
+    return (C + patch).tocsc()

@@ -1,0 +1,19 @@
+"""Report generation for the paper's tables and figures."""
+
+from repro.reporting.tables import format_table, table1_rows, render_table1
+from repro.reporting.figures import (
+    Figure1Report,
+    figure1_nnz_report,
+    Figure2Report,
+    figure2_accuracy_report,
+)
+
+__all__ = [
+    "format_table",
+    "table1_rows",
+    "render_table1",
+    "Figure1Report",
+    "figure1_nnz_report",
+    "Figure2Report",
+    "figure2_accuracy_report",
+]

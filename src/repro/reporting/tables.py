@@ -1,0 +1,96 @@
+"""Plain-text table rendering (Table I of the paper).
+
+The benchmark harness produces one :class:`MethodComparison` per test case
+(ckt1-ckt8); :func:`render_table1` lays them out with the same columns the
+paper reports: circuit specification (#N, #Dev., nnzC, nnzG) and per method
+the step count, average Newton iterations (BENR), average invert-Krylov
+dimension (ER / ER-C), runtime and the speedup over BENR.  A BENR failure
+(memory budget exceeded) renders as "OoM" and the corresponding speedups as
+"NA", mirroring the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.statistics import MethodComparison
+
+__all__ = ["format_table", "table1_rows", "render_table1"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned plain-text table."""
+    columns = [list(map(_fmt, col)) for col in zip(*([headers] + [list(r) for r in rows]))] \
+        if rows else [[_fmt(h)] for h in headers]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(map(_fmt, headers), widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "NA"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def table1_rows(comparisons: Sequence[MethodComparison],
+                methods: Optional[Sequence[str]] = None) -> List[List[object]]:
+    """Flatten comparisons into Table-I style rows (one row per circuit)."""
+    if methods is None:
+        methods = ["BENR", "ER", "ER-C"]
+    rows: List[List[object]] = []
+    for comparison in comparisons:
+        structure = comparison.structure
+        row: List[object] = [
+            comparison.circuit_name,
+            structure.get("#N"),
+            structure.get("#Dev"),
+            structure.get("nnzC"),
+            structure.get("nnzG"),
+        ]
+        for method in methods:
+            try:
+                data = comparison.row_for(method)
+            except KeyError:
+                row.extend([None] * 4 if method == "BENR" else [None] * 4)
+                continue
+            if not data["completed"]:
+                failed_tag = "OoM" if "Budget" in str(data.get("failure", "")) else "fail"
+                if method == "BENR":
+                    row.extend([failed_tag, None, None, None])
+                else:
+                    row.extend([failed_tag, None, None, None])
+                continue
+            if method == "BENR":
+                row.extend([data["#step"], data["#NRa"], data["RT(s)"], data["SP"]])
+            else:
+                row.extend([data["#step"], data["#ma"], data["RT(s)"], data["SP"]])
+    # one circuit per row
+        rows.append(row)
+    return rows
+
+
+def render_table1(comparisons: Sequence[MethodComparison],
+                  methods: Optional[Sequence[str]] = None) -> str:
+    """Render the full Table I as plain text."""
+    if methods is None:
+        methods = ["BENR", "ER", "ER-C"]
+    headers: List[str] = ["Case", "#N", "#Dev", "nnzC", "nnzG"]
+    for method in methods:
+        iteration_col = "#NRa" if method == "BENR" else "#ma"
+        headers.extend([f"{method} #step", f"{method} {iteration_col}",
+                        f"{method} RT(s)", f"{method} SP"])
+    return format_table(headers, table1_rows(comparisons, methods))

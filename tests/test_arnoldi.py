@@ -1,0 +1,111 @@
+"""Unit tests for the shared Arnoldi process (repro.linalg.arnoldi)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.arnoldi import ArnoldiBreakdown, ArnoldiProcess
+
+
+def random_operator(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    A = A - 1.5 * n ** 0.5 * np.eye(n)
+    return A, (lambda v: A @ v)
+
+
+class TestArnoldiRelation:
+    def test_basis_orthonormal(self):
+        A, apply_A = random_operator()
+        v0 = np.random.default_rng(1).standard_normal(30)
+        process = ArnoldiProcess(apply_A, v0, max_dim=12)
+        for _ in range(10):
+            process.extend()
+        assert process.orthogonality_defect() < 1e-10
+
+    def test_arnoldi_recurrence(self):
+        """A V_m = V_m H_m + h_{m+1,m} v_{m+1} e_m^T (Eq. 19 of the paper)."""
+        A, apply_A = random_operator()
+        v0 = np.random.default_rng(2).standard_normal(30)
+        process = ArnoldiProcess(apply_A, v0, max_dim=15)
+        for _ in range(8):
+            process.extend()
+        m = process.m
+        Vm = process.basis(m)
+        Hm = process.hessenberg(m)
+        lhs = A @ Vm
+        rhs = Vm @ Hm
+        rhs[:, -1] += process.subdiagonal(m) * process.next_basis_vector(m)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_beta_is_initial_norm(self):
+        _, apply_A = random_operator()
+        v0 = 3.0 * np.ones(30)
+        process = ArnoldiProcess(apply_A, v0)
+        assert process.beta == pytest.approx(np.linalg.norm(v0))
+        np.testing.assert_allclose(process.V[:, 0], v0 / np.linalg.norm(v0))
+
+    def test_hessenberg_structure(self):
+        A, apply_A = random_operator()
+        v0 = np.random.default_rng(3).standard_normal(30)
+        process = ArnoldiProcess(apply_A, v0, max_dim=10)
+        for _ in range(6):
+            process.extend()
+        H = process.hessenberg()
+        # entries below the first subdiagonal must be zero
+        for i in range(H.shape[0]):
+            for j in range(H.shape[1]):
+                if i > j + 1:
+                    assert H[i, j] == 0.0
+
+
+class TestBreakdown:
+    def test_invariant_subspace_breaks_down(self):
+        # A v0 = 2 v0: the Krylov space is one-dimensional
+        n = 10
+        A = 2.0 * np.eye(n)
+        v0 = np.ones(n)
+        process = ArnoldiProcess(lambda v: A @ v, v0, max_dim=5)
+        with pytest.raises(ArnoldiBreakdown):
+            process.extend()
+        assert process.breakdown
+        assert process.m == 1
+
+    def test_zero_start_vector_flags_breakdown(self):
+        process = ArnoldiProcess(lambda v: v, np.zeros(5))
+        assert process.breakdown
+        assert process.beta == 0.0
+        with pytest.raises(ArnoldiBreakdown):
+            process.extend()
+
+    def test_extension_after_breakdown_raises(self):
+        n = 6
+        process = ArnoldiProcess(lambda v: 3.0 * v, np.ones(n), max_dim=4)
+        with pytest.raises(ArnoldiBreakdown):
+            process.extend()
+        with pytest.raises(ArnoldiBreakdown):
+            process.extend()
+
+
+class TestLimitsAndValidation:
+    def test_dimension_limit_enforced(self):
+        _, apply_A = random_operator()
+        process = ArnoldiProcess(apply_A, np.random.default_rng(4).standard_normal(30),
+                                 max_dim=3)
+        for _ in range(3):
+            process.extend()
+        with pytest.raises(RuntimeError):
+            process.extend()
+
+    def test_max_dim_capped_by_problem_size(self):
+        _, apply_A = random_operator(5)
+        process = ArnoldiProcess(apply_A, np.ones(5), max_dim=100)
+        assert process.max_dim == 5
+
+    def test_invalid_max_dim(self):
+        with pytest.raises(ValueError):
+            ArnoldiProcess(lambda v: v, np.ones(4), max_dim=0)
+
+    def test_operator_with_wrong_length_rejected(self):
+        process = ArnoldiProcess(lambda v: np.ones(3), np.ones(5))
+        with pytest.raises(ValueError):
+            process.extend()

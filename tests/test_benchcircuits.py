@@ -1,0 +1,212 @@
+"""Tests for the benchmark circuit generators (repro.benchcircuits)."""
+
+import numpy as np
+import pytest
+
+from repro.benchcircuits import (
+    TESTCASE_NAMES,
+    coupled_lines,
+    driven_coupled_bus,
+    freecpu_like_circuit,
+    freecpu_like_system,
+    inverter_chain,
+    make_ckt,
+    power_grid,
+    rc_ladder,
+    rc_mesh,
+    stiff_inverter_chain,
+)
+from repro.circuit.elements import CouplingCapacitor
+
+
+class TestRCNetworks:
+    def test_ladder_size(self):
+        ckt = rc_ladder(10)
+        mna = ckt.build()
+        # 10 internal nodes + the driven input node + one source branch
+        assert mna.num_nodes == 11
+        assert mna.num_branches == 1
+
+    def test_ladder_needs_at_least_one_segment(self):
+        with pytest.raises(ValueError):
+            rc_ladder(0)
+
+    def test_mesh_node_count(self):
+        ckt = rc_mesh(4, 5)
+        assert ckt.num_nodes == 4 * 5 + 1  # grid nodes plus the driven "in" node
+
+    def test_mesh_coupling_increases_nnzc_only(self):
+        plain = rc_mesh(6, 6, coupling_fraction=0.0).build().structure_stats()
+        coupled = rc_mesh(6, 6, coupling_fraction=1.0, seed=3).build().structure_stats()
+        assert coupled.nnz_C > plain.nnz_C
+        assert coupled.nnz_G == plain.nnz_G
+        assert coupled.num_coupling_caps > 0
+
+    def test_mesh_validation(self):
+        with pytest.raises(ValueError):
+            rc_mesh(1, 5)
+
+    def test_mesh_reproducible_with_seed(self):
+        a = rc_mesh(5, 5, coupling_fraction=0.5, seed=7).build().structure_stats()
+        b = rc_mesh(5, 5, coupling_fraction=0.5, seed=7).build().structure_stats()
+        assert a.nnz_C == b.nnz_C
+
+
+class TestInverterChains:
+    def test_device_count(self):
+        ckt = inverter_chain(6)
+        assert ckt.num_devices == 12  # one PMOS + one NMOS per stage
+
+    def test_stiff_chain_spreads_load_caps(self):
+        ckt = stiff_inverter_chain(8, cap_spread_decades=3.0, base_load_cap=1e-15)
+        caps = sorted(
+            el.value for el in ckt.elements if el.name.startswith("CL")
+        )
+        assert caps[-1] / caps[0] == pytest.approx(1e3, rel=1e-6)
+
+    def test_chain_simulates_and_inverts(self):
+        from repro.core.simulator import simulate
+
+        ckt = inverter_chain(2)
+        result = simulate(ckt, "er", t_stop=0.3e-9, h_init=2e-12, err_budget=1e-3)
+        assert result.stats.completed
+        # input is high at 0.3 ns (pulse started at 50 ps), so out1 low, out2 high
+        assert result.voltage("out1")[-1] < 0.2
+        assert result.voltage("out2")[-1] > 0.8
+
+    def test_requires_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            inverter_chain(0)
+
+
+class TestPowerGrid:
+    def test_structure(self):
+        ckt = power_grid(4, 4, num_loads=4)
+        mna = ckt.build()
+        stats = mna.structure_stats()
+        # every grid node has a decap; package branches add inductor currents
+        assert stats.nnz_C >= 16
+        assert mna.num_branches == 1 + 4  # Vdd source + 4 package inductors
+
+    def test_simulation_shows_supply_droop(self):
+        from repro.core.simulator import simulate
+
+        ckt = power_grid(3, 3, vdd=1.0, num_loads=3, load_peak_current=2e-3, seed=2)
+        result = simulate(ckt, "er", t_stop=0.5e-9, h_init=5e-12)
+        assert result.stats.completed
+        center = result.voltage("g1_1")
+        assert np.min(center) < 1.0 - 1e-4  # the switching load pulls the grid down
+        assert np.min(center) > 0.5  # but not absurdly so
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_grid(1, 4)
+
+
+class TestCoupledInterconnect:
+    def test_coupling_span_densifies_c(self):
+        narrow = coupled_lines(6, 8, coupling_span=1).build().structure_stats()
+        wide = coupled_lines(6, 8, coupling_span=3).build().structure_stats()
+        assert wide.nnz_C > narrow.nnz_C
+        assert wide.nnz_G == narrow.nnz_G
+
+    def test_long_range_fraction_adds_coupling_caps(self):
+        base = coupled_lines(5, 6, long_range_fraction=0.0)
+        extra = coupled_lines(5, 6, long_range_fraction=1.0, seed=1)
+        n_base = sum(isinstance(e, CouplingCapacitor) for e in base.elements)
+        n_extra = sum(isinstance(e, CouplingCapacitor) for e in extra.elements)
+        assert n_extra > n_base
+
+    def test_crosstalk_observed_on_victim_line(self):
+        from repro.core.simulator import simulate
+
+        ckt = coupled_lines(2, 4, c_ground=1e-15, c_coupling=8e-15)
+        result = simulate(ckt, "er", t_stop=0.4e-9, h_init=2e-12)
+        assert result.stats.completed
+        victim = result.voltage("l1_s3")
+        assert np.max(np.abs(victim)) > 0.01  # coupling injects a visible glitch
+
+    def test_driven_bus_has_devices(self):
+        ckt = driven_coupled_bus(4, 5)
+        assert ckt.num_devices == 8
+        assert ckt.build().structure_stats().num_coupling_caps > 0
+
+
+class TestFreeCPULike:
+    def test_structural_contrast_matches_figure1(self):
+        """The generator must reproduce Fig. 1's qualitative facts: C spreads
+        its non-zeros much farther from the diagonal than G, and the LU
+        factors of (C/h + G) fill in far more than the factors of G."""
+        from repro.reporting.figures import figure1_nnz_report
+
+        C, G = freecpu_like_system(n=400, coupling_per_node=3.0, seed=2)
+        report = figure1_nnz_report(C, G, h=1e-12)
+        assert report.bandwidth_C > 5 * report.bandwidth_G
+        assert report.factor_advantage > 2.0
+
+    def test_g_is_nonsingular(self):
+        from repro.linalg.sparse_lu import factorize
+
+        C, G = freecpu_like_system(n=300, seed=1)
+        factorize(G)  # must not raise
+
+    def test_requested_size_approximated(self):
+        C, G = freecpu_like_system(n=500)
+        assert abs(C.shape[0] - 500) <= 50
+        assert C.shape == G.shape
+
+    def test_circuit_variant_builds_and_counts_drivers(self):
+        ckt = freecpu_like_circuit(num_nets=8, segments_per_net=4)
+        assert ckt.num_devices == 16
+        stats = ckt.build().structure_stats()
+        assert stats.num_coupling_caps > 0
+
+
+class TestTableITestcases:
+    def test_all_names_construct(self):
+        for name in TESTCASE_NAMES:
+            case = make_ckt(name, scale=0.3)
+            stats = case.structure()
+            assert stats.n > 0
+            assert case.description
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_ckt("ckt9")
+        with pytest.raises(ValueError):
+            make_ckt("ckt1", scale=0.0)
+
+    def test_coupling_density_increases_along_the_suite(self):
+        """The defining axis of Table I: nnzC / nnzG grows from ckt1 to the
+        strongly coupled cases."""
+        sparse = make_ckt("ckt1", scale=0.5).structure()
+        dense = make_ckt("ckt6", scale=0.5).structure()
+        assert dense.nnz_C / dense.nnz_G > 2.0 * (sparse.nnz_C / sparse.nnz_G)
+
+    def test_ckt4_denser_than_ckt1(self):
+        c1 = make_ckt("ckt1", scale=0.5).structure()
+        c4 = make_ckt("ckt4", scale=0.5).structure()
+        assert c4.nnz_C > c1.nnz_C
+        assert c4.nnz_G == c1.nnz_G
+
+    def test_memory_budget_separates_er_from_benr(self):
+        """For the ckt6-style cases the fill-in budget must admit the G
+        factors (ER's only factorization) and reject the C/h+G factors
+        (BENR's Jacobian) -- the mechanism behind the OoM rows of Table I."""
+        from repro.analysis.dc import dc_operating_point
+        from repro.linalg.sparse_lu import FactorizationBudgetExceeded, factorize
+
+        case = make_ckt("ckt6", scale=0.5)
+        assert case.factor_budget is not None
+        mna = case.circuit.build()
+        dc = dc_operating_point(mna)
+        ev = mna.evaluate(dc.x)
+        lu_g = factorize(ev.G, max_factor_nnz=case.factor_budget)
+        assert lu_g.nnz_factors <= case.factor_budget
+        with pytest.raises(FactorizationBudgetExceeded):
+            factorize((ev.C / 5e-12 + ev.G).tocsc(), max_factor_nnz=case.factor_budget)
+
+    def test_scale_parameter_shrinks_circuits(self):
+        small = make_ckt("ckt3", scale=0.3).structure()
+        large = make_ckt("ckt3", scale=1.0).structure()
+        assert small.n < large.n

@@ -1,0 +1,179 @@
+"""Unit tests for linear elements and their MNA stamps (repro.circuit.elements)."""
+
+import pytest
+
+from repro.circuit.elements import (
+    Capacitor,
+    CouplingCapacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuit.sources import DC, PWL
+
+
+class FakeStamper:
+    """Records stamps against node names so element tests need no MNA system."""
+
+    def __init__(self, branch_index=10):
+        self.node_map = {}
+        self.branch_index = branch_index
+        self.G = {}
+        self.C = {}
+        self.inputs = []
+
+    def node(self, name):
+        if name in ("0", "gnd"):
+            return -1
+        return self.node_map.setdefault(name, len(self.node_map))
+
+    def branch(self, element):
+        return self.branch_index
+
+    def add_G(self, i, j, value):
+        # mirror the real assembler: ground rows/cols and exact zeros are dropped
+        if i < 0 or j < 0 or value == 0.0:
+            return
+        self.G[(i, j)] = self.G.get((i, j), 0.0) + value
+
+    def add_C(self, i, j, value):
+        if i < 0 or j < 0 or value == 0.0:
+            return
+        self.C[(i, j)] = self.C.get((i, j), 0.0) + value
+
+    def add_input(self, i, waveform, scale):
+        if i < 0:
+            return
+        self.inputs.append((i, waveform, scale))
+
+
+class TestResistor:
+    def test_stamp_pattern(self):
+        st = FakeStamper()
+        Resistor("R1", "a", "b", 100.0).stamp(st)
+        a, b = st.node("a"), st.node("b")
+        assert st.G[(a, a)] == pytest.approx(0.01)
+        assert st.G[(b, b)] == pytest.approx(0.01)
+        assert st.G[(a, b)] == pytest.approx(-0.01)
+        assert st.G[(b, a)] == pytest.approx(-0.01)
+        assert not st.C
+
+    def test_grounded_resistor_stamps_single_entry(self):
+        st = FakeStamper()
+        Resistor("R1", "a", "0", 50.0).stamp(st)
+        a = st.node("a")
+        assert st.G == {(a, a): pytest.approx(0.02)}
+
+    def test_rejects_non_positive_resistance(self):
+        with pytest.raises(ValueError):
+            Resistor("R1", "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            Resistor("R1", "a", "b", -5.0)
+
+    def test_conductance_property(self):
+        assert Resistor("R1", "a", "b", 200.0).conductance == pytest.approx(0.005)
+
+
+class TestCapacitor:
+    def test_stamp_pattern(self):
+        st = FakeStamper()
+        Capacitor("C1", "a", "b", 1e-12).stamp(st)
+        a, b = st.node("a"), st.node("b")
+        assert st.C[(a, a)] == pytest.approx(1e-12)
+        assert st.C[(a, b)] == pytest.approx(-1e-12)
+        assert not st.G
+
+    def test_coupling_capacitor_is_a_capacitor(self):
+        cap = CouplingCapacitor("Cc", "x", "y", 2e-15)
+        assert isinstance(cap, Capacitor)
+        assert cap.capacitance == 2e-15
+
+    def test_zero_capacitance_allowed(self):
+        st = FakeStamper()
+        Capacitor("C1", "a", "0", 0.0).stamp(st)
+        assert not st.C  # zero entries are dropped
+
+
+class TestInductor:
+    def test_branch_stamps(self):
+        st = FakeStamper(branch_index=5)
+        Inductor("L1", "a", "b", 1e-9).stamp(st)
+        a, b = st.node("a"), st.node("b")
+        assert st.G[(a, 5)] == 1.0
+        assert st.G[(b, 5)] == -1.0
+        assert st.G[(5, a)] == 1.0
+        assert st.G[(5, b)] == -1.0
+        assert st.C[(5, 5)] == pytest.approx(-1e-9)
+
+    def test_needs_branch_current(self):
+        assert Inductor("L1", "a", "b", 1e-9).needs_branch_current is True
+
+    def test_rejects_non_positive_inductance(self):
+        with pytest.raises(ValueError):
+            Inductor("L1", "a", "b", 0.0)
+
+
+class TestVoltageSource:
+    def test_stamps_and_input(self):
+        st = FakeStamper(branch_index=7)
+        VoltageSource("V1", "p", "n", DC(5.0)).stamp(st)
+        p, n = st.node("p"), st.node("n")
+        assert st.G[(p, 7)] == 1.0
+        assert st.G[(n, 7)] == -1.0
+        assert st.G[(7, p)] == 1.0
+        assert st.G[(7, n)] == -1.0
+        assert len(st.inputs) == 1
+        row, waveform, scale = st.inputs[0]
+        assert row == 7 and scale == 1.0
+        assert waveform.value(0.0) == 5.0
+
+    def test_numeric_value_becomes_dc(self):
+        src = VoltageSource("V1", "p", "0", 1.8)
+        assert isinstance(src.waveform, DC)
+        assert src.waveform.value(0.0) == 1.8
+
+    def test_accepts_pwl(self):
+        src = VoltageSource("V1", "p", "0", PWL([(0, 0), (1e-9, 1)]))
+        assert src.waveform.value(0.5e-9) == pytest.approx(0.5)
+
+
+class TestCurrentSource:
+    def test_stamps_two_rhs_rows(self):
+        st = FakeStamper()
+        CurrentSource("I1", "p", "n", DC(1e-3)).stamp(st)
+        p, n = st.node("p"), st.node("n")
+        rows = {(row, scale) for row, _, scale in st.inputs}
+        assert (p, -1.0) in rows
+        assert (n, 1.0) in rows
+        assert not st.G
+
+    def test_grounded_side_is_dropped(self):
+        st = FakeStamper()
+        CurrentSource("I1", "p", "0", DC(1e-3)).stamp(st)
+        assert len(st.inputs) == 1
+
+
+class TestControlledSources:
+    def test_vccs_stamp(self):
+        st = FakeStamper()
+        VCCS("G1", "op", "on", "cp", "cn", 1e-3).stamp(st)
+        op, on = st.node("op"), st.node("on")
+        cp, cn = st.node("cp"), st.node("cn")
+        assert st.G[(op, cp)] == pytest.approx(1e-3)
+        assert st.G[(op, cn)] == pytest.approx(-1e-3)
+        assert st.G[(on, cp)] == pytest.approx(-1e-3)
+        assert st.G[(on, cn)] == pytest.approx(1e-3)
+
+    def test_vcvs_stamp(self):
+        st = FakeStamper(branch_index=3)
+        VCVS("E1", "op", "on", "cp", "cn", 10.0).stamp(st)
+        op, on = st.node("op"), st.node("on")
+        cp, cn = st.node("cp"), st.node("cn")
+        assert st.G[(op, 3)] == 1.0
+        assert st.G[(3, op)] == 1.0
+        assert st.G[(3, cp)] == pytest.approx(-10.0)
+        assert st.G[(3, cn)] == pytest.approx(10.0)
+        assert VCVS("E2", "a", "b", "c", "d", 1.0).needs_branch_current

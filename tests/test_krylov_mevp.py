@@ -1,0 +1,179 @@
+"""Tests for the three Krylov MEVP strategies (standard, invert, rational).
+
+The accuracy oracle is the dense matrix exponential of ``J = -C^{-1} G``
+computed with scipy on small systems.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+import scipy.sparse as sp
+
+from repro.linalg.invert_krylov import InvertKrylovMEVP
+from repro.linalg.krylov import MEVPStats, StandardKrylovMEVP
+from repro.linalg.rational_krylov import RationalKrylovMEVP
+from repro.linalg.sparse_lu import factorize
+
+
+def rc_line_system(n=60, stiff=False, seed=0):
+    """A 1-D RC line: G tridiagonal, C diagonal (optionally widely spread)."""
+    rng = np.random.default_rng(seed)
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    G = sp.diags([off, main, off], [-1, 0, 1]).tocsc() * 1e-3
+    if stiff:
+        caps = 10.0 ** rng.uniform(-15, -11, size=n)
+    else:
+        caps = 1e-12 * rng.uniform(0.5, 2.0, size=n)
+    C = sp.diags(caps).tocsc()
+    return C, G
+
+
+def dense_expm_reference(C, G, v, h):
+    J = -np.linalg.solve(C.toarray(), G.toarray())
+    return sla.expm(h * J) @ v
+
+
+class TestInvertKrylov:
+    def test_matches_dense_reference(self):
+        C, G = rc_line_system()
+        v = np.random.default_rng(1).standard_normal(C.shape[0])
+        h = 1e-10
+        iks = InvertKrylovMEVP(C, G, factorize(G))
+        approx = iks.expm_multiply(v, h, tol=1e-10)
+        exact = dense_expm_reference(C, G, v, h)
+        np.testing.assert_allclose(approx, exact, rtol=1e-6, atol=1e-9)
+
+    def test_stiff_system_converges_in_small_dimension(self):
+        C, G = rc_line_system(stiff=True, seed=3)
+        v = np.random.default_rng(2).standard_normal(C.shape[0])
+        stats = MEVPStats()
+        iks = InvertKrylovMEVP(C, G, factorize(G), stats=stats)
+        basis = iks.build(v, 1e-10, tol=1e-8)
+        exact = dense_expm_reference(C, G, v, 1e-10)
+        np.testing.assert_allclose(basis.mevp(1e-10), exact, rtol=1e-4, atol=1e-7)
+        assert basis.dimension < C.shape[0]
+        assert stats.num_evaluations == 1
+        assert stats.average_dimension == basis.dimension
+
+    def test_residual_decreases_with_dimension(self):
+        C, G = rc_line_system(seed=4)
+        v = np.random.default_rng(3).standard_normal(C.shape[0])
+        iks = InvertKrylovMEVP(C, G, factorize(G))
+        basis = iks.build(v, 1e-10, tol=1e-14, max_dim=30)
+        h = 1e-10
+        residuals = [basis.residual_norm(h, m) for m in range(2, basis.dimension + 1)]
+        # not strictly monotone step by step, but must drop by orders of magnitude
+        assert residuals[-1] < 1e-3 * residuals[0]
+
+    def test_basis_reuse_across_step_sizes(self):
+        """The same basis evaluates correctly for a smaller h (no rebuild)."""
+        C, G = rc_line_system(seed=5)
+        v = np.random.default_rng(4).standard_normal(C.shape[0])
+        iks = InvertKrylovMEVP(C, G, factorize(G))
+        basis = iks.build(v, 2e-10, tol=1e-10)
+        for h in (2e-10, 1e-10, 0.5e-10, 0.25e-10):
+            exact = dense_expm_reference(C, G, v, h)
+            np.testing.assert_allclose(basis.mevp(h), exact, rtol=1e-5, atol=1e-8)
+
+    def test_singular_capacitance_matrix_supported(self):
+        """The key structural advantage: C may be singular."""
+        C, G = rc_line_system(n=40)
+        C = C.tolil()
+        for idx in (0, 7, 23):
+            C[idx, idx] = 0.0
+        C = C.tocsc()
+        v = np.random.default_rng(5).standard_normal(40)
+        iks = InvertKrylovMEVP(C, G, factorize(G))
+        basis = iks.build(v, 1e-10, tol=1e-8)
+        result = basis.mevp(1e-10)
+        assert np.all(np.isfinite(result))
+
+    def test_zero_vector_short_circuits(self):
+        C, G = rc_line_system(n=20)
+        iks = InvertKrylovMEVP(C, G, factorize(G))
+        basis = iks.build(np.zeros(20), 1e-10)
+        assert basis.is_zero
+        np.testing.assert_array_equal(basis.mevp(1e-10), np.zeros(20))
+        assert basis.residual_norm(1e-10) == 0.0
+
+    def test_phi1_times_identity(self):
+        """h*phi1(hJ)v computed in the subspace matches the dense evaluation."""
+        C, G = rc_line_system(n=30, seed=6)
+        v = np.random.default_rng(6).standard_normal(30)
+        h = 1e-10
+        iks = InvertKrylovMEVP(C, G, factorize(G))
+        basis = iks.build(v, h, tol=1e-12, max_dim=30)
+        J = -np.linalg.solve(C.toarray(), G.toarray())
+        dense = h * (np.linalg.solve(h * J, sla.expm(h * J) - np.eye(30)) @ v)
+        np.testing.assert_allclose(basis.phi1_times(h, v), dense, rtol=1e-4, atol=1e-8)
+
+    def test_stats_operator_application_counting(self):
+        C, G = rc_line_system(n=25)
+        stats = MEVPStats()
+        iks = InvertKrylovMEVP(C, G, factorize(G), stats=stats)
+        basis = iks.build(np.ones(25), 1e-10, tol=1e-8)
+        assert stats.num_operator_applications >= basis.dimension
+
+
+class TestStandardKrylov:
+    def test_matches_dense_reference(self):
+        C, G = rc_line_system()
+        v = np.random.default_rng(7).standard_normal(C.shape[0])
+        h = 1e-10
+        sk = StandardKrylovMEVP(C, G, factorize(C))
+        result = sk.expm_multiply(v, h, tol=1e-10)
+        exact = dense_expm_reference(C, G, v, h)
+        np.testing.assert_allclose(result.vector, exact, rtol=1e-6, atol=1e-9)
+        assert result.converged
+
+    def test_error_estimate_reported(self):
+        C, G = rc_line_system()
+        sk = StandardKrylovMEVP(C, G, factorize(C))
+        result = sk.expm_multiply(np.ones(C.shape[0]), 1e-10, tol=1e-9)
+        assert result.error_estimate <= 1e-9
+
+    def test_zero_vector(self):
+        C, G = rc_line_system(n=15)
+        sk = StandardKrylovMEVP(C, G, factorize(C))
+        result = sk.expm_multiply(np.zeros(15), 1e-10)
+        assert result.dimension == 0
+        np.testing.assert_array_equal(result.vector, np.zeros(15))
+
+    def test_stiff_c_needs_more_dimensions_than_invert(self):
+        """Sec. IV's motivation: stiff C inflates the standard subspace."""
+        C, G = rc_line_system(n=80, stiff=True, seed=11)
+        v = np.random.default_rng(8).standard_normal(80)
+        h = 2e-10
+        std_stats, iks_stats = MEVPStats(), MEVPStats()
+        sk = StandardKrylovMEVP(C, G, factorize(C), stats=std_stats, max_dim=80)
+        iks = InvertKrylovMEVP(C, G, factorize(G), stats=iks_stats, max_dim=80)
+        sk.expm_multiply(v, h, tol=1e-7)
+        iks.build(v, h, tol=1e-7)
+        assert iks_stats.average_dimension <= std_stats.average_dimension
+
+
+class TestRationalKrylov:
+    def test_matches_dense_reference(self):
+        C, G = rc_line_system()
+        v = np.random.default_rng(9).standard_normal(C.shape[0])
+        h = 1e-10
+        rk = RationalKrylovMEVP(C, G, gamma=h)
+        result = rk.expm_multiply(v, h, tol=1e-9)
+        exact = dense_expm_reference(C, G, v, h)
+        np.testing.assert_allclose(result.vector, exact, rtol=1e-4, atol=1e-7)
+
+    def test_requires_positive_gamma(self):
+        C, G = rc_line_system(n=10)
+        with pytest.raises(ValueError):
+            RationalKrylovMEVP(C, G, gamma=0.0)
+
+    def test_converges_in_few_dimensions_on_stiff_system(self):
+        C, G = rc_line_system(n=80, stiff=True, seed=13)
+        v = np.random.default_rng(10).standard_normal(80)
+        h = 2e-10
+        stats = MEVPStats()
+        rk = RationalKrylovMEVP(C, G, gamma=h, stats=stats, max_dim=80)
+        result = rk.expm_multiply(v, h, tol=1e-8)
+        assert result.converged
+        assert result.dimension <= 40

@@ -1,0 +1,134 @@
+"""Unit tests for the Circuit container (repro.circuit.netlist)."""
+
+import pytest
+
+from repro.circuit.devices.diode import DiodeModel
+from repro.circuit.devices.mosfet import MOSFETModel
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import DC
+
+
+class TestNodeBookkeeping:
+    def test_nodes_registered_in_order(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "b", 1.0)
+        ckt.add_resistor("R2", "b", "c", 1.0)
+        assert ckt.node_names == ["a", "b", "c"]
+        assert ckt.num_nodes == 3
+
+    def test_ground_aliases_not_registered(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        ckt.add_resistor("R2", "b", "gnd", 1.0)
+        ckt.add_resistor("R3", "c", "GND", 1.0)
+        assert ckt.node_names == ["a", "b", "c"]
+
+    def test_is_ground(self):
+        assert Circuit.is_ground("0")
+        assert Circuit.is_ground("gnd")
+        assert Circuit.is_ground("GND")
+        assert not Circuit.is_ground("out")
+
+
+class TestElementRegistration:
+    def test_duplicate_names_rejected(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "b", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.add_capacitor("R1", "a", "b", 1e-12)
+
+    def test_devices_and_elements_kept_separately(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        ckt.add_diode("D1", "a", "0")
+        assert len(ckt.elements) == 1
+        assert len(ckt.devices) == 1
+        assert ckt.num_devices == 1
+
+    def test_add_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            Circuit().add(42)
+
+    def test_add_returns_circuit_for_chaining(self):
+        ckt = Circuit()
+        from repro.circuit.elements import Resistor
+
+        assert ckt.add(Resistor("R1", "a", "0", 1.0)) is ckt
+
+    def test_convenience_constructors_return_elements(self):
+        ckt = Circuit()
+        r = ckt.add_resistor("R1", "a", "0", 10.0)
+        c = ckt.add_capacitor("C1", "a", "0", 1e-12)
+        v = ckt.add_vsource("V1", "a", "0", 1.0)
+        m = ckt.add_mosfet("M1", "a", "b", "0", "0", MOSFETModel())
+        assert r.resistance == 10.0
+        assert c.capacitance == 1e-12
+        assert isinstance(v.waveform, DC)
+        assert m.nodes == ("a", "b", "0", "0")
+
+
+class TestModels:
+    def test_model_roundtrip(self):
+        ckt = Circuit()
+        model = DiodeModel(name="DX", isat=1e-12)
+        ckt.add_model(model)
+        assert ckt.get_model("dx") is model
+        assert ckt.get_model("DX") is model
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            Circuit().get_model("nope")
+
+    def test_model_requires_name(self):
+        class Nameless:
+            name = ""
+
+        with pytest.raises(ValueError):
+            Circuit().add_model(Nameless())
+
+
+class TestInitialConditions:
+    def test_set_and_store(self):
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        ckt.set_initial_condition("a", 0.5)
+        assert ckt.initial_conditions == {"a": 0.5}
+
+    def test_ground_ic_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit().set_initial_condition("0", 1.0)
+
+
+class TestSummary:
+    def test_counts(self):
+        ckt = Circuit("demo")
+        ckt.add_resistor("R1", "a", "b", 1.0)
+        ckt.add_resistor("R2", "b", "0", 1.0)
+        ckt.add_capacitor("C1", "a", "0", 1e-12)
+        ckt.add_vsource("V1", "a", "0", 1.0)
+        ckt.add_diode("D1", "b", "0")
+        summary = ckt.summary()
+        assert summary["nodes"] == 2
+        assert summary["linear_elements"] == 4
+        assert summary["nonlinear_devices"] == 1
+        assert summary["Resistor"] == 2
+        assert summary["Diode"] == 1
+
+    def test_repr_mentions_counts(self):
+        ckt = Circuit("demo")
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        assert "demo" in repr(ckt)
+        assert "elements=1" in repr(ckt)
+
+
+class TestBuild:
+    def test_build_returns_mna_system(self):
+        from repro.circuit.mna import MNASystem
+
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        assert isinstance(ckt.build(), MNASystem)
+
+    def test_empty_circuit_cannot_build(self):
+        with pytest.raises(ValueError):
+            Circuit().build()

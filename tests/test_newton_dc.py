@@ -1,0 +1,159 @@
+"""Tests for the Newton solver and the DC operating-point analysis."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.dc import dc_operating_point
+from repro.circuit.devices.diode import DiodeModel
+from repro.circuit.devices.mosfet import MOSFETModel
+from repro.circuit.netlist import Circuit
+from repro.core.options import DCOptions, NewtonOptions
+from repro.integrators.newton import NewtonSolver
+from repro.linalg.sparse_lu import LUStats
+
+
+def divider():
+    ckt = Circuit()
+    ckt.add_vsource("V1", "in", "0", 2.0)
+    ckt.add_resistor("R1", "in", "out", 1000.0)
+    ckt.add_resistor("R2", "out", "0", 3000.0)
+    return ckt.build()
+
+
+class TestNewtonSolver:
+    def test_linear_system_converges_in_one_iteration(self):
+        mna = divider()
+        bu = mna.source_vector(0.0)
+
+        def residual_jacobian(x):
+            ev = mna.evaluate(x)
+            return ev.f - bu, ev.G
+
+        solver = NewtonSolver(mna)
+        result = solver.solve(np.zeros(mna.n), residual_jacobian)
+        assert result.converged
+        assert result.iterations <= 2
+        assert mna.voltage(result.x, "out") == pytest.approx(1.5)
+
+    def test_nonlinear_scalar_equation(self):
+        """Solve x^2 = 4 dressed up as a one-unknown circuit-style residual."""
+        ckt = Circuit()
+        ckt.add_resistor("R1", "a", "0", 1.0)
+        mna = ckt.build()
+
+        def residual_jacobian(x):
+            residual = np.array([x[0] ** 2 - 4.0])
+            jacobian = sp.csc_matrix(np.array([[2.0 * x[0]]]))
+            return residual, jacobian
+
+        solver = NewtonSolver(mna, NewtonOptions(max_iterations=50, residual_tol=1e-12))
+        result = solver.solve(np.array([1.0]), residual_jacobian)
+        assert result.converged
+        assert result.x[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_lu_stats_counted(self):
+        mna = divider()
+        bu = mna.source_vector(0.0)
+        stats = LUStats()
+
+        def residual_jacobian(x):
+            ev = mna.evaluate(x)
+            return ev.f - bu, ev.G
+
+        solver = NewtonSolver(mna, lu_stats=stats)
+        solver.solve(np.zeros(mna.n), residual_jacobian)
+        assert stats.num_factorizations >= 1
+        assert stats.num_solves >= 1
+
+    def test_nonconvergence_reported(self):
+        mna = divider()
+
+        def residual_jacobian(x):
+            # gradient points the wrong way: Newton diverges
+            return np.array([1.0, 1.0, 1.0]), sp.identity(3, format="csc") * 1e-12
+
+        solver = NewtonSolver(mna, NewtonOptions(max_iterations=5))
+        result = solver.solve(np.zeros(3), residual_jacobian)
+        assert not result.converged
+        assert result.iterations == 5
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            NewtonOptions(max_iterations=0).validate()
+        with pytest.raises(ValueError):
+            NewtonOptions(abstol=-1).validate()
+        with pytest.raises(ValueError):
+            NewtonOptions(damping=0.0).validate()
+
+
+class TestDCOperatingPoint:
+    def test_voltage_divider(self):
+        mna = divider()
+        dc = dc_operating_point(mna)
+        assert dc.converged
+        assert dc.strategy == "newton"
+        assert mna.voltage(dc.x, "out") == pytest.approx(1.5)
+        # branch current of V1: 2V over 4k total
+        assert mna.branch_current(dc.x, "V1") == pytest.approx(-0.5e-3)
+
+    def test_diode_forward_drop(self):
+        ckt = Circuit()
+        ckt.add_vsource("V1", "in", "0", 5.0)
+        ckt.add_resistor("R1", "in", "a", 1000.0)
+        ckt.add_diode("D1", "a", "0", DiodeModel(name="D", isat=1e-14))
+        mna = ckt.build()
+        dc = dc_operating_point(mna)
+        assert dc.converged
+        v_diode = mna.voltage(dc.x, "a")
+        assert 0.5 < v_diode < 0.8
+        # KCL: current through R equals diode current
+        i_r = (5.0 - v_diode) / 1000.0
+        from repro.circuit.devices.diode import Diode
+
+        diode = ckt.devices[0]
+        i_d, _ = diode.current_and_conductance(v_diode)
+        assert i_r == pytest.approx(i_d, rel=1e-4)
+
+    def test_cmos_inverter_logic_levels(self):
+        from repro.benchcircuits.inverter_chain import inverter_chain
+
+        ckt = inverter_chain(3, vdd=1.0)
+        mna = ckt.build()
+        dc = dc_operating_point(mna)
+        assert dc.converged
+        assert mna.voltage(dc.x, "out1") == pytest.approx(1.0, abs=0.05)
+        assert mna.voltage(dc.x, "out2") == pytest.approx(0.0, abs=0.05)
+        assert mna.voltage(dc.x, "out3") == pytest.approx(1.0, abs=0.05)
+
+    def test_use_initial_conditions_skips_solve(self):
+        mna = divider()
+        mna.circuit.set_initial_condition("out", 0.123)
+        dc = dc_operating_point(mna, DCOptions(use_initial_conditions=True))
+        assert dc.strategy == "initial-conditions"
+        assert mna.voltage(dc.x, "out") == pytest.approx(0.123)
+
+    def test_gshunt_changes_jacobian_but_small_effect(self):
+        mna = divider()
+        dc = dc_operating_point(mna, gshunt=1e-12)
+        assert dc.converged
+        assert mna.voltage(dc.x, "out") == pytest.approx(1.5, rel=1e-6)
+
+    def test_mosfet_diode_connected(self):
+        """Diode-connected NMOS pulled up through a resistor settles above vt."""
+        ckt = Circuit()
+        ckt.add_vsource("V1", "vdd", "0", 1.2)
+        ckt.add_resistor("R1", "vdd", "d", 10_000.0)
+        ckt.add_mosfet("M1", "d", "d", "0", "0",
+                       MOSFETModel(name="N", level=1, vt0=0.4, kp=2e-4, gamma=0.0))
+        mna = ckt.build()
+        dc = dc_operating_point(mna)
+        assert dc.converged
+        v_d = mna.voltage(dc.x, "d")
+        assert 0.4 < v_d < 1.2
+
+    def test_lu_stats_forwarded(self):
+        mna = divider()
+        stats = LUStats()
+        dc_operating_point(mna, lu_stats=stats)
+        assert stats.num_factorizations >= 1

@@ -1,0 +1,216 @@
+"""Unit tests for the SPICE-like netlist parser (repro.circuit.parser)."""
+
+import pytest
+
+from repro.circuit.devices.diode import DiodeModel
+from repro.circuit.devices.mosfet import MOSFETModel
+from repro.circuit.parser import NetlistSyntaxError, parse_netlist, parse_value
+from repro.circuit.sources import DC, EXP, PULSE, PWL, SIN
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            ("1", 1.0),
+            ("1.5", 1.5),
+            ("1k", 1e3),
+            ("2.2u", 2.2e-6),
+            ("10meg", 10e6),
+            ("3n", 3e-9),
+            ("4p", 4e-12),
+            ("5f", 5e-15),
+            ("1e-9", 1e-9),
+            ("-2.5m", -2.5e-3),
+            ("1.5K", 1.5e3),
+            ("100pF", 100e-12),
+        ],
+    )
+    def test_values(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+
+SIMPLE_NETLIST = """
+* simple RC low-pass
+V1 in 0 PULSE(0 1 0 10p 10p 0.4n 1n)
+R1 in out 1k
+C1 out 0 1p
+.tran 1p 1n
+.end
+"""
+
+
+class TestBasicParsing:
+    def test_elements_created(self):
+        parsed = parse_netlist(SIMPLE_NETLIST)
+        ckt = parsed.circuit
+        assert len(ckt.elements) == 3
+        names = {el.name for el in ckt.elements}
+        assert names == {"V1", "R1", "C1"}
+
+    def test_tran_directive(self):
+        parsed = parse_netlist(SIMPLE_NETLIST)
+        assert parsed.tran is not None
+        assert parsed.tran.tstep == pytest.approx(1e-12)
+        assert parsed.tran.tstop == pytest.approx(1e-9)
+
+    def test_title_line_detected(self):
+        text = "my circuit title\nR1 a 0 1k\n.end\n"
+        parsed = parse_netlist(text)
+        assert parsed.circuit.title == "my circuit title"
+        assert len(parsed.circuit.elements) == 1
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "R1 a 0 1k\n\n* a comment\nC1 a 0 1p ; trailing comment\n"
+        parsed = parse_netlist(text)
+        assert len(parsed.circuit.elements) == 2
+
+    def test_continuation_lines(self):
+        text = "V1 in 0 PWL(0 0\n+ 1n 1)\nR1 in 0 1k\n"
+        parsed = parse_netlist(text)
+        source = next(el for el in parsed.circuit.elements if el.name == "V1")
+        assert isinstance(source.waveform, PWL)
+        assert source.waveform.value(0.5e-9) == pytest.approx(0.5)
+
+    def test_built_circuit_simulates(self):
+        from repro import simulate
+
+        parsed = parse_netlist(SIMPLE_NETLIST)
+        result = simulate(parsed.circuit, "er", t_stop=parsed.tran.tstop,
+                          h_init=10e-12)
+        assert result.stats.completed
+        assert abs(result.voltage("out")[-1]) < 1.5
+
+
+class TestWaveformParsing:
+    def test_dc_value(self):
+        parsed = parse_netlist("V1 a 0 3.3\nR1 a 0 1k\n")
+        src = next(el for el in parsed.circuit.elements if el.name == "V1")
+        assert isinstance(src.waveform, DC)
+        assert src.waveform.value(0) == pytest.approx(3.3)
+
+    def test_dc_keyword(self):
+        parsed = parse_netlist("V1 a 0 DC 1.8\nR1 a 0 1k\n")
+        src = next(el for el in parsed.circuit.elements if el.name == "V1")
+        assert src.waveform.value(0) == pytest.approx(1.8)
+
+    def test_pulse(self):
+        parsed = parse_netlist("V1 a 0 PULSE(0 1 1n 0.1n 0.1n 2n 5n)\nR1 a 0 1k\n")
+        src = next(el for el in parsed.circuit.elements if el.name == "V1")
+        assert isinstance(src.waveform, PULSE)
+        assert src.waveform.period == pytest.approx(5e-9)
+
+    def test_sin(self):
+        parsed = parse_netlist("V1 a 0 SIN(0 1 1g)\nR1 a 0 1k\n")
+        src = next(el for el in parsed.circuit.elements if el.name == "V1")
+        assert isinstance(src.waveform, SIN)
+        assert src.waveform.freq == pytest.approx(1e9)
+
+    def test_exp(self):
+        parsed = parse_netlist("V1 a 0 EXP(0 1 1n 0.5n 3n 0.5n)\nR1 a 0 1k\n")
+        src = next(el for el in parsed.circuit.elements if el.name == "V1")
+        assert isinstance(src.waveform, EXP)
+
+    def test_current_source_waveform(self):
+        parsed = parse_netlist("I1 a 0 PWL(0 0 1n 1m)\nR1 a 0 1k\n")
+        src = next(el for el in parsed.circuit.elements if el.name == "I1")
+        assert src.waveform.value(1e-9) == pytest.approx(1e-3)
+
+
+class TestModelsAndDevices:
+    NETLIST = """
+V1 vdd 0 1.0
+Vg g 0 PULSE(0 1 0 10p 10p 0.4n 1n)
+M1 out g 0 0 nch W=1u L=0.1u
+M2 out g vdd vdd pch W=2u L=0.1u
+D1 out 0 dmod
+C1 out 0 1f
+.model nch nmos (level=2 vto=0.4 kp=2e-4)
+.model pch pmos (level=2 vto=0.4 kp=1e-4)
+.model dmod d (is=1e-14 cjo=1e-15)
+"""
+
+    def test_models_registered(self):
+        parsed = parse_netlist(self.NETLIST)
+        nch = parsed.circuit.get_model("nch")
+        pch = parsed.circuit.get_model("pch")
+        dmod = parsed.circuit.get_model("dmod")
+        assert isinstance(nch, MOSFETModel) and nch.mos_type == "nmos"
+        assert isinstance(pch, MOSFETModel) and pch.mos_type == "pmos"
+        assert isinstance(dmod, DiodeModel)
+        assert nch.vt0 == pytest.approx(0.4)
+        assert nch.level == 2
+
+    def test_devices_reference_models(self):
+        parsed = parse_netlist(self.NETLIST)
+        ckt = parsed.circuit
+        assert ckt.num_devices == 3
+        m1 = next(d for d in ckt.devices if d.name == "M1")
+        assert m1.model.mos_type == "nmos"
+        assert m1.w == pytest.approx(1e-6)
+        assert m1.l == pytest.approx(0.1e-6)
+
+    def test_model_defined_after_device_is_found(self):
+        text = "D1 a 0 dlate\nR1 a 0 1k\n.model dlate d (is=1e-15)\n"
+        parsed = parse_netlist(text)
+        assert parsed.circuit.devices[0].model.isat == pytest.approx(1e-15)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("M1 d g 0 0 nomodel\nR1 d 0 1k\n")
+
+
+class TestDirectives:
+    def test_ic_directive(self):
+        parsed = parse_netlist("R1 a 0 1k\nC1 a 0 1p\n.ic v(a)=0.5\n")
+        assert parsed.circuit.initial_conditions == {"a": 0.5}
+
+    def test_options_directive(self):
+        parsed = parse_netlist("R1 a 0 1k\n.options reltol=1e-4 abstol=1n\n")
+        assert parsed.options["reltol"] == pytest.approx(1e-4)
+        assert parsed.options["abstol"] == pytest.approx(1e-9)
+
+    def test_end_stops_parsing(self):
+        parsed = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 1k\n")
+        assert len(parsed.circuit.elements) == 1
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a 0 1k\n.fourier 1k v(a)\n")
+
+
+class TestErrors:
+    def test_unknown_card(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("X1 a b sub\n")
+
+    def test_malformed_value(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("R1 a 0 abc\n")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_netlist("R1 a 0 1k\nR2 b 0 xyz\n")
+        except NetlistSyntaxError as exc:
+            assert exc.line_no == 2
+        else:
+            pytest.fail("expected NetlistSyntaxError")
+
+    def test_empty_netlist(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("* nothing but comments\n")
+
+    def test_stray_continuation(self):
+        with pytest.raises(NetlistSyntaxError):
+            parse_netlist("+ R1 a 0 1k\n")
+
+    def test_controlled_sources(self):
+        parsed = parse_netlist(
+            "V1 in 0 1\nR1 in 0 1k\nE1 out 0 in 0 2.0\nR2 out 0 1k\n"
+            "G1 out2 0 in 0 1m\nR3 out2 0 1k\n"
+        )
+        assert len(parsed.circuit.elements) == 6

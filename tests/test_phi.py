@@ -1,0 +1,114 @@
+"""Unit tests for the phi-functions (repro.linalg.phi)."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.phi import expm_dense, phi_functions, phi_scalar, phi_times_vector
+
+
+def random_stable(n, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n)) * scale
+    return A - (np.abs(A).sum() / n + 1.0) * np.eye(n)
+
+
+class TestPhiScalar:
+    def test_phi0_is_exp(self):
+        assert phi_scalar(1.3, 0) == pytest.approx(math.exp(1.3))
+
+    def test_phi1_closed_form(self):
+        z = -2.0
+        assert phi_scalar(z, 1) == pytest.approx((math.exp(z) - 1) / z)
+
+    def test_phi2_closed_form(self):
+        z = 0.7
+        expected = (math.exp(z) - 1 - z) / z ** 2
+        assert phi_scalar(z, 2) == pytest.approx(expected)
+
+    def test_small_argument_series(self):
+        # direct formula would suffer cancellation; series value is 1/k! at 0
+        assert phi_scalar(0.0, 1) == pytest.approx(1.0)
+        assert phi_scalar(0.0, 2) == pytest.approx(0.5)
+        assert phi_scalar(1e-8, 3) == pytest.approx(1.0 / 6.0, rel=1e-6)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            phi_scalar(1.0, -1)
+
+    @given(st.floats(min_value=-5.0, max_value=5.0), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=80, deadline=None)
+    def test_recurrence_holds(self, z, k):
+        # phi_{k+1}(z) = (phi_k(z) - 1/k!) / z for z != 0
+        if abs(z) < 1e-3:
+            return
+        lhs = phi_scalar(z, k + 1)
+        rhs = (phi_scalar(z, k) - 1.0 / math.factorial(k)) / z
+        assert lhs == pytest.approx(rhs, rel=1e-7, abs=1e-12)
+
+
+class TestPhiMatrices:
+    def test_phi0_matches_scipy_expm(self):
+        A = random_stable(6, seed=1)
+        np.testing.assert_allclose(phi_functions(A, 0)[0], sla.expm(A), rtol=1e-10)
+
+    def test_phi1_definition(self):
+        A = random_stable(5, seed=2)
+        phi1 = phi_functions(A, 1)[1]
+        expected = np.linalg.solve(A, sla.expm(A) - np.eye(5))
+        np.testing.assert_allclose(phi1, expected, rtol=1e-8)
+
+    def test_phi2_definition(self):
+        A = random_stable(5, seed=3)
+        phi2 = phi_functions(A, 2)[2]
+        expected = np.linalg.solve(A, np.linalg.solve(A, sla.expm(A) - np.eye(5)) - np.eye(5))
+        np.testing.assert_allclose(phi2, expected, rtol=1e-7)
+
+    def test_singular_argument_falls_back_to_series(self):
+        A = np.zeros((3, 3))
+        phis = phi_functions(A, 2)
+        np.testing.assert_allclose(phis[0], np.eye(3))
+        np.testing.assert_allclose(phis[1], np.eye(3))
+        np.testing.assert_allclose(phis[2], 0.5 * np.eye(3), atol=1e-12)
+
+    def test_nilpotent_singular_matrix(self):
+        A = np.array([[0.0, 1.0], [0.0, 0.0]])
+        phi1 = phi_functions(A, 1)[1]
+        # phi1(A) = I + A/2 for nilpotent A of index 2
+        np.testing.assert_allclose(phi1, np.eye(2) + A / 2, atol=1e-10)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            phi_functions(np.zeros((2, 3)), 1)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            phi_functions(np.eye(2), -1)
+
+    def test_scalar_consistency(self):
+        z = -1.7
+        A = np.array([[z]])
+        phis = phi_functions(A, 3)
+        for k in range(4):
+            assert phis[k][0, 0] == pytest.approx(phi_scalar(z, k), rel=1e-9)
+
+
+class TestPhiTimesVector:
+    @pytest.mark.parametrize("order", [0, 1, 2, 3])
+    def test_matches_full_matrix_product(self, order):
+        A = random_stable(7, seed=4)
+        v = np.random.default_rng(5).standard_normal(7)
+        direct = phi_functions(A, order)[order] @ v
+        np.testing.assert_allclose(phi_times_vector(A, v, order), direct, rtol=1e-8, atol=1e-12)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            phi_times_vector(np.eye(3), np.ones(4), 1)
+
+    def test_expm_dense_wrapper(self):
+        A = random_stable(4, seed=6)
+        np.testing.assert_allclose(expm_dense(A), sla.expm(A))

@@ -1,0 +1,129 @@
+"""Unit tests for singular-C regularization (repro.linalg.regularization)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+import scipy.sparse as sp
+
+from repro.circuit.netlist import Circuit
+from repro.linalg.regularization import (
+    eliminate_algebraic,
+    epsilon_regularize,
+)
+
+
+def dae_system():
+    """A driven RC circuit whose MNA system has algebraic unknowns.
+
+    V1 -- R1 -- node a (C to ground) ; node 'in' and the source branch are
+    purely algebraic (no capacitance anywhere on their rows/columns).
+    """
+    ckt = Circuit("dae")
+    ckt.add_vsource("V1", "in", "0", 1.0)
+    ckt.add_resistor("R1", "in", "a", 1000.0)
+    ckt.add_capacitor("C1", "a", "0", 1e-12)
+    ckt.add_resistor("R2", "a", "0", 10_000.0)
+    mna = ckt.build()
+    return mna
+
+
+class TestEliminateAlgebraic:
+    def test_identifies_algebraic_unknowns(self):
+        mna = dae_system()
+        red = eliminate_algebraic(mna.C_lin, mna.G_lin, mna.B)
+        # dynamic: node 'a'; algebraic: node 'in' and the V1 branch current
+        assert red.n_reduced == 1
+        assert len(red.algebraic_indices) == 2
+        assert red.dynamic_indices[0] == mna.node_index("a")
+
+    def test_reduced_capacitance_nonsingular(self):
+        mna = dae_system()
+        red = eliminate_algebraic(mna.C_lin, mna.G_lin, mna.B)
+        C_red = red.C_red.toarray()
+        assert np.linalg.matrix_rank(C_red) == C_red.shape[0]
+
+    def test_reduced_ode_matches_full_dae_dynamics(self):
+        """Integrate the reduced ODE analytically and compare with the known answer.
+
+        For the circuit above with a 1 V DC source, v_a(t) relaxes toward
+        R2/(R1+R2) volts with time constant (R1 || R2) * C.
+        """
+        mna = dae_system()
+        red = eliminate_algebraic(mna.C_lin, mna.G_lin, mna.B)
+        u = mna.input_vector(0.0)
+        A = -np.linalg.solve(red.C_red.toarray(), red.G_red.toarray())
+        b = np.linalg.solve(red.C_red.toarray(), (red.B_red @ u))
+        t = 3e-9
+        x_dyn = sla.expm(A * t) @ np.zeros(1) + np.linalg.solve(A, (sla.expm(A * t) - np.eye(1)) @ b)
+        r_parallel = 1000.0 * 10000.0 / 11000.0
+        tau = r_parallel * 1e-12
+        v_expected = (10000.0 / 11000.0) * (1.0 - np.exp(-t / tau))
+        assert x_dyn[0] == pytest.approx(v_expected, rel=1e-6)
+
+    def test_reconstruct_recovers_algebraic_values(self):
+        mna = dae_system()
+        red = eliminate_algebraic(mna.C_lin, mna.G_lin, mna.B)
+        u = mna.input_vector(0.0)
+        x_dyn = np.array([0.5])
+        x_full = red.reconstruct(x_dyn, u)
+        # the input node must sit at the source voltage
+        assert x_full[mna.node_index("in")] == pytest.approx(1.0)
+        assert x_full[mna.node_index("a")] == 0.5
+        # KCL through R1 fixes the source branch current
+        i_expected = -(1.0 - 0.5) / 1000.0
+        assert x_full[mna.branch_index_by_name("V1")] == pytest.approx(i_expected)
+
+    def test_reduce_state_projection(self):
+        mna = dae_system()
+        red = eliminate_algebraic(mna.C_lin, mna.G_lin, mna.B)
+        x_full = np.array([1.0, 0.25, -1e-3])
+        assert red.reduce_state(x_full) == pytest.approx([0.25])
+
+    def test_no_algebraic_unknowns_is_identity(self):
+        C = sp.identity(4, format="csc") * 1e-12
+        G = sp.identity(4, format="csc") * 1e-3
+        B = sp.csc_matrix((4, 1))
+        red = eliminate_algebraic(C, G, B)
+        assert red.n_reduced == 4
+        assert len(red.algebraic_indices) == 0
+
+    def test_floating_algebraic_subnetwork_rejected(self):
+        """A singular algebraic block G_aa (floating node) must be refused."""
+        C = sp.csc_matrix(np.array([[1e-12, 0.0], [0.0, 0.0]]))
+        # the second unknown has no capacitance and no conductance at all
+        G = sp.csc_matrix(np.array([[1e-3, 0.0], [0.0, 0.0]]))
+        B = sp.csc_matrix((2, 1))
+        with pytest.raises(ValueError):
+            eliminate_algebraic(C, G, B)
+
+
+class TestEpsilonRegularize:
+    def test_patches_empty_diagonal_rows(self):
+        C = sp.csc_matrix(np.diag([1e-12, 0.0, 2e-12, 0.0]))
+        C_reg = epsilon_regularize(C)
+        diag = C_reg.diagonal()
+        assert diag[1] > 0 and diag[3] > 0
+        assert diag[0] == pytest.approx(1e-12)
+
+    def test_default_epsilon_scales_with_matrix(self):
+        C = sp.csc_matrix(np.diag([1e-12, 0.0]))
+        C_reg = epsilon_regularize(C)
+        assert C_reg.diagonal()[1] == pytest.approx(1e-6 * 1e-12)
+
+    def test_explicit_epsilon(self):
+        C = sp.csc_matrix((3, 3))
+        C_reg = epsilon_regularize(C, epsilon=1e-20)
+        np.testing.assert_allclose(C_reg.diagonal(), 1e-20)
+
+    def test_already_regular_matrix_unchanged(self):
+        C = sp.csc_matrix(np.diag([1e-12, 2e-12]))
+        C_reg = epsilon_regularize(C)
+        np.testing.assert_allclose(C_reg.toarray(), C.toarray())
+
+    def test_makes_matrix_factorizable(self):
+        from repro.linalg.sparse_lu import factorize
+
+        mna = dae_system()
+        with pytest.raises(np.linalg.LinAlgError):
+            factorize(mna.C_lin)
+        factorize(epsilon_regularize(mna.C_lin))  # must not raise

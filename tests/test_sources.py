@@ -1,0 +1,179 @@
+"""Unit tests for the waveform sources (repro.circuit.sources)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.sources import DC, EXP, PULSE, PWL, SIN
+
+
+class TestDC:
+    def test_value_is_constant(self):
+        wave = DC(3.3)
+        assert wave.value(0.0) == 3.3
+        assert wave.value(1e-9) == 3.3
+        assert wave(12.0) == 3.3
+
+    def test_slope_is_zero(self):
+        assert DC(1.0).slope(5e-10) == 0.0
+
+    def test_no_breakpoints(self):
+        assert DC(1.0).breakpoints(1e-9) == []
+
+
+class TestPWL:
+    def test_interpolates_linearly(self):
+        wave = PWL([(0.0, 0.0), (1e-9, 1.0)])
+        assert wave.value(0.5e-9) == pytest.approx(0.5)
+        assert wave.value(0.25e-9) == pytest.approx(0.25)
+
+    def test_holds_endpoints(self):
+        wave = PWL([(1e-9, 2.0), (2e-9, 4.0)])
+        assert wave.value(0.0) == 2.0
+        assert wave.value(5e-9) == 4.0
+
+    def test_slope_inside_segment(self):
+        wave = PWL([(0.0, 0.0), (1e-9, 1.0), (2e-9, 1.0)])
+        assert wave.slope(0.5e-9) == pytest.approx(1e9)
+        assert wave.slope(1.5e-9) == pytest.approx(0.0)
+
+    def test_slope_outside_range_is_zero(self):
+        wave = PWL([(1e-9, 0.0), (2e-9, 1.0)])
+        assert wave.slope(0.5e-9) == 0.0
+        assert wave.slope(3e-9) == 0.0
+
+    def test_breakpoints_are_interior_times(self):
+        wave = PWL([(0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)])
+        assert wave.breakpoints(3e-9) == [1e-9, 2e-9]
+        assert wave.breakpoints(1.5e-9) == [1e-9]
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            PWL([(0.0, 0.0), (0.0, 1.0)])
+        with pytest.raises(ValueError):
+            PWL([(1e-9, 0.0), (0.5e-9, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PWL([])
+
+    @given(st.floats(min_value=0.0, max_value=2e-9))
+    @settings(max_examples=50, deadline=None)
+    def test_value_bounded_by_extremes(self, t):
+        wave = PWL([(0.0, 0.0), (0.5e-9, 1.0), (1e-9, -0.5), (2e-9, 0.25)])
+        value = wave.value(t)
+        assert -0.5 - 1e-12 <= value <= 1.0 + 1e-12
+
+    @given(st.floats(min_value=1e-12, max_value=1.9e-9))
+    @settings(max_examples=50, deadline=None)
+    def test_slope_matches_finite_difference(self, t):
+        wave = PWL([(0.0, 0.0), (0.5e-9, 1.0), (1e-9, -0.5), (2e-9, 0.25)])
+        breaks = set(wave.breakpoints(2e-9))
+        # stay away from breakpoints where the slope is discontinuous
+        if any(abs(t - b) < 1e-12 for b in breaks):
+            return
+        eps = 1e-14
+        fd = (wave.value(t + eps) - wave.value(t - eps)) / (2 * eps)
+        assert wave.slope(t) == pytest.approx(fd, rel=1e-3, abs=1e-3)
+
+
+class TestPULSE:
+    def make(self):
+        return PULSE(v1=0.0, v2=1.0, delay=1e-9, rise=0.1e-9, fall=0.2e-9,
+                     width=0.5e-9, period=2e-9)
+
+    def test_initial_value(self):
+        assert self.make().value(0.0) == 0.0
+        assert self.make().value(0.99e-9) == 0.0
+
+    def test_plateau_value(self):
+        wave = self.make()
+        assert wave.value(1.3e-9) == pytest.approx(1.0)
+
+    def test_rise_is_linear(self):
+        wave = self.make()
+        assert wave.value(1.05e-9) == pytest.approx(0.5)
+
+    def test_fall_is_linear(self):
+        wave = self.make()
+        # fall starts at delay + rise + width = 1.6 ns, lasts 0.2 ns
+        assert wave.value(1.7e-9) == pytest.approx(0.5)
+
+    def test_periodicity(self):
+        wave = self.make()
+        for t in (1.05e-9, 1.3e-9, 1.7e-9):
+            assert wave.value(t) == pytest.approx(wave.value(t + 2e-9))
+            assert wave.value(t) == pytest.approx(wave.value(t + 4e-9))
+
+    def test_slope_values(self):
+        wave = self.make()
+        assert wave.slope(1.05e-9) == pytest.approx(1.0 / 0.1e-9)
+        assert wave.slope(1.3e-9) == 0.0
+        assert wave.slope(1.7e-9) == pytest.approx(-1.0 / 0.2e-9)
+
+    def test_breakpoints_cover_corners(self):
+        wave = self.make()
+        bps = wave.breakpoints(3e-9)
+        for expected in (1e-9, 1.1e-9, 1.6e-9, 1.8e-9, 3e-9 - 1e-9):
+            # last one: start of second period = delay + period = 3.0e-9 is outside
+            pass
+        assert 1e-9 in bps
+        assert pytest.approx(1.1e-9) in bps
+        assert pytest.approx(1.6e-9) in bps
+        assert pytest.approx(1.8e-9) in bps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PULSE(0, 1, rise=0.0)
+        with pytest.raises(ValueError):
+            PULSE(0, 1, rise=1e-9, fall=1e-9, width=1e-9, period=1e-9)
+        with pytest.raises(ValueError):
+            PULSE(0, 1, width=-1e-9)
+
+
+class TestSIN:
+    def test_offset_before_delay(self):
+        wave = SIN(offset=0.5, amplitude=1.0, freq=1e9, delay=1e-9)
+        assert wave.value(0.5e-9) == 0.5
+
+    def test_peak_value(self):
+        wave = SIN(offset=0.0, amplitude=2.0, freq=1e9)
+        assert wave.value(0.25e-9) == pytest.approx(2.0, rel=1e-9)
+
+    def test_slope_at_zero_crossing(self):
+        wave = SIN(offset=0.0, amplitude=1.0, freq=1e9)
+        assert wave.slope(0.0) == pytest.approx(2 * math.pi * 1e9)
+
+    def test_damping(self):
+        wave = SIN(offset=0.0, amplitude=1.0, freq=1e9, theta=1e9)
+        undamped = SIN(offset=0.0, amplitude=1.0, freq=1e9)
+        assert abs(wave.value(2.25e-9)) < abs(undamped.value(2.25e-9))
+
+    def test_requires_positive_frequency(self):
+        with pytest.raises(ValueError):
+            SIN(0.0, 1.0, 0.0)
+
+
+class TestEXP:
+    def test_initial_and_final_levels(self):
+        wave = EXP(v1=0.0, v2=1.0, td1=1e-9, tau1=0.1e-9, td2=3e-9, tau2=0.1e-9)
+        assert wave.value(0.0) == 0.0
+        assert wave.value(2.9e-9) == pytest.approx(1.0, abs=1e-6)
+        assert wave.value(10e-9) == pytest.approx(0.0, abs=1e-6)
+
+    def test_monotone_rise(self):
+        wave = EXP(0.0, 1.0, 0.0, 1e-9, 5e-9, 1e-9)
+        values = [wave.value(t) for t in (0.5e-9, 1e-9, 2e-9, 4e-9)]
+        assert values == sorted(values)
+
+    def test_breakpoints(self):
+        wave = EXP(0.0, 1.0, 1e-9, 1e-9, 3e-9, 1e-9)
+        assert wave.breakpoints(5e-9) == [1e-9, 3e-9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EXP(0, 1, tau1=0.0)
+        with pytest.raises(ValueError):
+            EXP(0, 1, td1=2e-9, td2=1e-9)

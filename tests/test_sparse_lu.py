@@ -1,0 +1,106 @@
+"""Unit tests for the instrumented LU wrapper (repro.linalg.sparse_lu)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.sparse_lu import (
+    FactorizationBudgetExceeded,
+    LUStats,
+    factorize,
+)
+
+
+def spd_matrix(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density=0.2, random_state=np.random.RandomState(seed)).tocsc()
+    return (A + A.T + n * sp.identity(n)).tocsc()
+
+
+class TestFactorizeSolve:
+    def test_solve_matches_dense(self):
+        A = spd_matrix()
+        lu = factorize(A)
+        b = np.arange(A.shape[0], dtype=float)
+        x = lu.solve(b)
+        np.testing.assert_allclose(A @ x, b, atol=1e-10)
+
+    def test_solve_many(self):
+        A = spd_matrix()
+        lu = factorize(A)
+        B = np.random.default_rng(1).standard_normal((A.shape[0], 3))
+        X = lu.solve_many(B)
+        np.testing.assert_allclose(A @ X, B, atol=1e-10)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            factorize(sp.random(4, 5, density=0.5).tocsc())
+
+    def test_singular_matrix_raises_linalgerror(self):
+        A = sp.csc_matrix((5, 5))
+        with pytest.raises(np.linalg.LinAlgError):
+            factorize(A)
+
+    def test_nnz_factors_positive(self):
+        lu = factorize(spd_matrix())
+        assert lu.nnz_factors >= spd_matrix().shape[0]
+        assert lu.nnz_factors == lu.nnz_L + lu.nnz_U
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        stats = LUStats()
+        A = spd_matrix()
+        lu = factorize(A, stats=stats)
+        lu.solve(np.ones(A.shape[0]))
+        lu.solve(np.ones(A.shape[0]))
+        factorize(A, stats=stats)
+        assert stats.num_factorizations == 2
+        assert stats.num_solves == 2
+        assert len(stats.factor_nnz) == 2
+        assert stats.peak_factor_nnz == max(stats.factor_nnz)
+        assert stats.total_factor_nnz == sum(stats.factor_nnz)
+        assert stats.factor_time >= 0.0
+
+    def test_merge(self):
+        a, b = LUStats(), LUStats()
+        factorize(spd_matrix(), stats=a)
+        factorize(spd_matrix(), stats=b)
+        a.merge(b)
+        assert a.num_factorizations == 2
+        assert len(a.factor_nnz) == 2
+
+    def test_as_dict_keys(self):
+        stats = LUStats()
+        factorize(spd_matrix(), stats=stats)
+        d = stats.as_dict()
+        assert set(d) == {
+            "num_factorizations", "num_solves", "factor_time", "solve_time",
+            "peak_factor_nnz", "total_factor_nnz",
+        }
+
+    def test_empty_stats(self):
+        stats = LUStats()
+        assert stats.peak_factor_nnz == 0
+        assert stats.total_factor_nnz == 0
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        A = spd_matrix(50, seed=2)
+        with pytest.raises(FactorizationBudgetExceeded) as info:
+            factorize(A, max_factor_nnz=10, label="C/h+G")
+        assert info.value.budget == 10
+        assert info.value.nnz_factors > 10
+        assert "C/h+G" in str(info.value)
+
+    def test_budget_not_exceeded_passes(self):
+        A = spd_matrix(10)
+        lu = factorize(A, max_factor_nnz=10_000)
+        assert lu.nnz_factors <= 10_000
+
+    def test_stats_still_recorded_when_budget_exceeded(self):
+        stats = LUStats()
+        with pytest.raises(FactorizationBudgetExceeded):
+            factorize(spd_matrix(50, seed=2), stats=stats, max_factor_nnz=10)
+        assert stats.num_factorizations == 1

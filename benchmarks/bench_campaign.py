@@ -1,0 +1,112 @@
+"""Campaign engine benchmark: serial vs process-pool scenario sweeps.
+
+A 20-scenario method-shootout campaign (2 circuits x 2 methods x a
+5-point error-budget grid) runs once through the serial runner and once
+through the process pool.  The checks encode the engine's contract:
+
+* every scenario completes and the aggregate comparison table renders;
+* serial and parallel execution produce *identical* per-scenario
+  statistics and waveform samples (scheduling independence);
+* with >= 2 cores, the pool beats serial wall-clock by >= 1.5x.
+
+The rendered campaign table lands in ``benchmarks/output/campaign.txt``.
+"""
+
+import os
+
+import pytest
+
+from repro import SimOptions
+from repro.campaign import grid_sweep, run_campaign
+from repro.reporting import render_campaign_table, render_method_matrix
+
+from conftest import write_report
+
+#: per-scenario simulation setup; heavy enough that pool startup amortizes
+BASE_OPTIONS = SimOptions(t_stop=0.5e-9, h_init=2e-12, store_states=False)
+
+ERR_BUDGETS = [2e-3, 1e-3, 5e-4, 2e-4, 1e-4]
+METHODS = ["benr", "er"]
+
+#: results shared between the serial and parallel benchmark cases
+_RUNS = {}
+
+
+def build_scenarios():
+    """2 circuits x 2 methods x 5 error budgets = 20 scenarios."""
+    mesh = grid_sweep(
+        circuits=[("rc_mesh", {"rows": 8, "cols": 8, "coupling_fraction": 0.5})],
+        methods=METHODS,
+        option_grid={"err_budget": ERR_BUDGETS},
+        observe=["n4_4"],
+    )
+    bus = grid_sweep(
+        circuits=[("coupled_lines", {"num_lines": 5, "segments_per_line": 8,
+                                     "long_range_fraction": 0.3})],
+        methods=METHODS,
+        option_grid={"err_budget": ERR_BUDGETS},
+        observe=["l2_s4"],
+    )
+    scenarios = mesh + bus
+    assert len(scenarios) == 20
+    return scenarios
+
+
+def test_campaign_serial(benchmark):
+    scenarios = build_scenarios()
+
+    def run_serial():
+        return run_campaign(scenarios, base_options=BASE_OPTIONS, mode="serial")
+
+    campaign = benchmark.pedantic(run_serial, rounds=1, iterations=1)
+    _RUNS["serial"] = campaign
+    benchmark.extra_info["wall_seconds"] = campaign.metadata["wall_seconds"]
+    assert campaign.num_ok == len(scenarios), [o.error for o in campaign.failures]
+
+
+def test_campaign_parallel(benchmark):
+    scenarios = build_scenarios()
+    workers = min(os.cpu_count() or 1, 4)
+
+    def run_parallel():
+        return run_campaign(
+            scenarios, base_options=BASE_OPTIONS, mode="process", workers=workers
+        )
+
+    campaign = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    _RUNS["parallel"] = campaign
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["wall_seconds"] = campaign.metadata["wall_seconds"]
+    assert campaign.num_ok == len(scenarios), [o.error for o in campaign.failures]
+
+
+def test_campaign_report_and_equivalence(benchmark, report_writer):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "serial" not in _RUNS or "parallel" not in _RUNS:
+        pytest.skip("campaign runs did not execute")
+    serial = _RUNS["serial"]
+    parallel = _RUNS["parallel"]
+
+    # (1) aggregate comparison tables render from the parallel run
+    table = render_campaign_table(parallel, reference_method="benr")
+    matrix = render_method_matrix(parallel, reference_method="benr")
+    report_writer("campaign.txt", table + "\n\n" + matrix)
+    assert "SP" in table
+
+    # (2) scheduling independence: identical per-scenario statistics
+    for a, b in zip(serial, parallel):
+        assert a.scenario.name == b.scenario.name
+        assert a.deterministic_summary() == b.deterministic_summary(), a.scenario.name
+        assert a.samples == b.samples, a.scenario.name
+
+    # (3) parallel wall-clock beats serial by >= 1.5x given >= 2 cores
+    serial_wall = serial.metadata["wall_seconds"]
+    parallel_wall = parallel.metadata["wall_seconds"]
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
+    print(f"\ncampaign wall-clock: serial {serial_wall:.2f}s, "
+          f"parallel {parallel_wall:.2f}s ({parallel.metadata['workers']} workers), "
+          f"speedup {speedup:.2f}x")
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x speedup on {os.cpu_count()} cores, got {speedup:.2f}x"
+        )

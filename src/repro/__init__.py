@@ -61,6 +61,16 @@ from repro.integrators import (
     StandardKrylovExponential,
     TrapezoidalNR,
 )
+from repro.campaign import (
+    CampaignResult,
+    CircuitSpec,
+    Scenario,
+    ScenarioOutcome,
+    corner_sweep,
+    grid_sweep,
+    monte_carlo_sweep,
+    run_campaign,
+)
 
 __version__ = "0.1.0"
 
@@ -96,5 +106,13 @@ __all__ = [
     "ForwardEuler",
     "ExponentialRosenbrockEuler",
     "StandardKrylovExponential",
+    "CampaignResult",
+    "CircuitSpec",
+    "Scenario",
+    "ScenarioOutcome",
+    "grid_sweep",
+    "corner_sweep",
+    "monte_carlo_sweep",
+    "run_campaign",
     "__version__",
 ]

@@ -15,8 +15,20 @@ from repro.benchcircuits.power_grid import power_grid
 from repro.benchcircuits.coupled_interconnect import coupled_lines, driven_coupled_bus
 from repro.benchcircuits.freecpu import freecpu_like_system, freecpu_like_circuit
 from repro.benchcircuits.testcases import TestCase, make_ckt, TESTCASE_NAMES
+from repro.benchcircuits.registry import (
+    build_circuit,
+    circuit_factory_names,
+    factory_accepts_seed,
+    get_circuit_factory,
+    register_circuit_factory,
+)
 
 __all__ = [
+    "register_circuit_factory",
+    "get_circuit_factory",
+    "circuit_factory_names",
+    "factory_accepts_seed",
+    "build_circuit",
     "rc_ladder",
     "rc_mesh",
     "inverter_chain",

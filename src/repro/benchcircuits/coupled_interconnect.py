@@ -15,11 +15,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.benchcircuits.inverter_chain import default_nmos, default_pmos
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PULSE, Waveform
+from repro.core.rng import SeedLike, as_generator
 
 __all__ = ["coupled_lines", "driven_coupled_bus"]
 
@@ -33,7 +32,7 @@ def coupled_lines(
     coupling_span: int = 1,
     long_range_fraction: float = 0.0,
     drive: Optional[Waveform] = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
     name: str = "coupled_lines",
 ) -> Circuit:
     """Parallel RC lines with neighbour (and optional long-range) coupling.
@@ -81,7 +80,7 @@ def coupled_lines(
     total_nodes = num_lines * segments_per_line
     extra = int(round(long_range_fraction * total_nodes))
     if extra > 0:
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         added = 0
         attempts = 0
         while added < extra and attempts < 50 * extra:
@@ -107,7 +106,7 @@ def driven_coupled_bus(
     coupling_span: int = 2,
     long_range_fraction: float = 0.2,
     model_level: int = 2,
-    seed: int = 0,
+    seed: SeedLike = 0,
     name: str = "driven_coupled_bus",
 ) -> Circuit:
     """A coupled bus where every line is driven by a CMOS inverter.
@@ -126,7 +125,7 @@ def driven_coupled_bus(
     def node(line: int, seg: int) -> str:
         return f"l{line}_s{seg}"
 
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     for line in range(num_lines):
         delay = 50e-12 if line % 2 == 0 else 150e-12
         ckt.add_vsource(

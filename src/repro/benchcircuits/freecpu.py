@@ -30,6 +30,7 @@ import scipy.sparse as sp
 from repro.benchcircuits.inverter_chain import default_nmos, default_pmos
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PULSE
+from repro.core.rng import SeedLike, as_generator
 
 __all__ = ["freecpu_like_system", "freecpu_like_circuit"]
 
@@ -42,7 +43,7 @@ def freecpu_like_system(
     grounded_cap: float = 5e-15,
     coupling_cap: float = 2e-15,
     conductance: float = 1e-2,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> Tuple[sp.csc_matrix, sp.csc_matrix]:
     """Return ``(C, G)`` with post-extraction-like structure.
 
@@ -57,7 +58,7 @@ def freecpu_like_system(
         Average number of *long-range* coupling capacitors per node; this is
         the knob that drives the fill-in contrast of Fig. 1.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     rows = max(2, int(np.sqrt(n / mesh_aspect)))
     cols = max(2, int(np.ceil(n / rows)))
     n = rows * cols
@@ -130,7 +131,7 @@ def freecpu_like_circuit(
     coupling_per_node: float = 3.0,
     vdd: float = 1.0,
     model_level: int = 2,
-    seed: int = 0,
+    seed: SeedLike = 0,
     name: str = "freecpu_like",
 ) -> Circuit:
     """A driver + interconnect circuit with FreeCPU-like coupling density.
@@ -140,7 +141,7 @@ def freecpu_like_circuit(
     interconnect with 40 drivers); long-range coupling capacitors are
     scattered uniformly across all net segments.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     ckt = Circuit(name)
     nmos = default_nmos(model_level)
     pmos = default_pmos(model_level)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PWL
+from repro.core.rng import SeedLike, as_generator
 
 __all__ = ["power_grid"]
 
@@ -33,7 +34,7 @@ def power_grid(
     load_peak_current: float = 5e-4,
     load_rise: float = 50e-12,
     load_width: float = 200e-12,
-    seed: int = 0,
+    seed: SeedLike = 0,
     name: str = "power_grid",
 ) -> Circuit:
     """Build a ``rows x cols`` power grid with switching current loads.
@@ -45,7 +46,7 @@ def power_grid(
     """
     if rows < 2 or cols < 2:
         raise ValueError("power_grid needs at least a 2x2 mesh")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     ckt = Circuit(name)
 
     def node(r: int, c: int) -> str:

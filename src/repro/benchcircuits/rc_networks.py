@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PULSE, Waveform
+from repro.core.rng import SeedLike, as_generator
 
 __all__ = ["rc_ladder", "rc_mesh"]
 
@@ -54,7 +53,7 @@ def rc_mesh(
     coupling_fraction: float = 0.0,
     coupling_cap: float = 2e-15,
     drive: Optional[Waveform] = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
     name: str = "rc_mesh",
 ) -> Circuit:
     """Build a rows x cols RC mesh with optional random coupling capacitors.
@@ -91,7 +90,7 @@ def rc_mesh(
     num_nodes = rows * cols
     num_coupling = int(round(coupling_fraction * num_nodes))
     if num_coupling > 0:
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         added = 0
         attempts = 0
         while added < num_coupling and attempts < 50 * num_coupling:

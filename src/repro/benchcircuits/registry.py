@@ -1,0 +1,112 @@
+"""Named circuit-factory registry.
+
+The campaign runner executes scenarios in worker *processes*; shipping a
+:class:`~repro.circuit.netlist.Circuit` object across the process boundary
+would be fragile and would defeat the per-worker assembly cache.  Instead a
+scenario references its circuit by **factory name + keyword parameters**,
+and every worker reconstructs the circuit locally through this registry.
+
+All built-in benchmark generators register themselves here, including the
+Table-I analogues ``ckt1`` ... ``ckt8`` (which build the *circuit* of the
+corresponding :class:`~repro.benchcircuits.testcases.TestCase`).  Projects
+can add their own factories::
+
+    from repro.benchcircuits import register_circuit_factory
+
+    @register_circuit_factory("my_pll")
+    def my_pll(stages=4, seed=0):
+        ckt = Circuit("my_pll")
+        ...
+        return ckt
+
+Factories must be importable by name in a fresh interpreter (module-level
+functions, not lambdas/closures) and deterministic given their keyword
+arguments -- randomness must flow through an explicit ``seed`` parameter.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional
+
+from repro.circuit.netlist import Circuit
+
+__all__ = [
+    "register_circuit_factory",
+    "get_circuit_factory",
+    "circuit_factory_names",
+    "build_circuit",
+    "factory_accepts_seed",
+]
+
+_FACTORIES: Dict[str, Callable[..., Circuit]] = {}
+
+
+def register_circuit_factory(name: str, factory: Optional[Callable[..., Circuit]] = None):
+    """Register ``factory`` under ``name`` (usable as a decorator).
+
+    Re-registering an existing name raises; use a fresh name for variants.
+    """
+
+    def _register(fn: Callable[..., Circuit]) -> Callable[..., Circuit]:
+        key = name.strip().lower()
+        if not key:
+            raise ValueError("factory name must be non-empty")
+        if key in _FACTORIES:
+            raise ValueError(f"circuit factory {key!r} is already registered")
+        _FACTORIES[key] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def get_circuit_factory(name: str) -> Callable[..., Circuit]:
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown circuit factory {name!r}; registered: {known}")
+    return _FACTORIES[key]
+
+
+def circuit_factory_names() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def factory_accepts_seed(name: str) -> bool:
+    """Whether the factory takes an explicit ``seed`` keyword."""
+    signature = inspect.signature(get_circuit_factory(name))
+    return "seed" in signature.parameters
+
+
+def build_circuit(name: str, **params) -> Circuit:
+    """Instantiate the circuit registered under ``name`` with ``params``."""
+    return get_circuit_factory(name)(**params)
+
+
+def _register_builtins() -> None:
+    from repro.benchcircuits.coupled_interconnect import coupled_lines, driven_coupled_bus
+    from repro.benchcircuits.freecpu import freecpu_like_circuit
+    from repro.benchcircuits.inverter_chain import inverter_chain, stiff_inverter_chain
+    from repro.benchcircuits.power_grid import power_grid
+    from repro.benchcircuits.rc_networks import rc_ladder, rc_mesh
+    from repro.benchcircuits.testcases import TESTCASE_NAMES, make_ckt
+
+    for fn in (rc_ladder, rc_mesh, inverter_chain, stiff_inverter_chain,
+               power_grid, coupled_lines, driven_coupled_bus, freecpu_like_circuit):
+        register_circuit_factory(fn.__name__, fn)
+
+    def _make_testcase_factory(case_name: str) -> Callable[..., Circuit]:
+        def _factory(scale: float = 1.0) -> Circuit:
+            return make_ckt(case_name, scale=scale).circuit
+
+        _factory.__name__ = case_name
+        _factory.__doc__ = f"Circuit of the Table-I analogue test case {case_name!r}."
+        return _factory
+
+    for case_name in TESTCASE_NAMES:
+        register_circuit_factory(case_name, _make_testcase_factory(case_name))
+
+
+_register_builtins()

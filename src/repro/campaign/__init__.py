@@ -1,0 +1,61 @@
+"""Parallel scenario-sweep engine for batched transient simulation.
+
+The paper's evaluation -- the same transient analysis across eight
+circuits, several integration methods and multiple error budgets -- is an
+embarrassingly parallel sweep.  This subpackage turns the one-shot
+:func:`repro.simulate` call into a batch evaluation engine:
+
+* :mod:`repro.campaign.scenario` -- declarative, picklable scenario
+  descriptions (circuit factory + method + option overrides);
+* :mod:`repro.campaign.sweep` -- grid / corner / Monte-Carlo planners with
+  deterministic per-variant seeds;
+* :mod:`repro.campaign.runner` -- serial and process-pool execution with
+  per-worker assembly caching, timeouts and failure capture;
+* :mod:`repro.campaign.store` -- outcome collection, aggregation and JSON
+  persistence (rendered by :mod:`repro.reporting.campaign_tables`).
+
+Quick start::
+
+    from repro.campaign import grid_sweep, run_campaign
+    from repro.reporting import render_method_matrix
+
+    scenarios = grid_sweep(
+        circuits=["ckt1", "ckt4"],
+        methods=["benr", "er", "er-c"],
+        param_grid={"scale": [0.1, 0.2]},
+        option_grid={"err_budget": [1e-3, 1e-4]},
+        observe=["c0_out1"],
+    )
+    campaign = run_campaign(scenarios, timeout=120.0)
+    print(render_method_matrix(campaign, reference_method="benr"))
+"""
+
+from repro.campaign.scenario import CircuitSpec, Scenario, apply_option_overrides
+from repro.campaign.sweep import (
+    corner_sweep,
+    grid_sweep,
+    monte_carlo_sweep,
+    sample_distribution,
+)
+from repro.campaign.runner import default_workers, execute_scenario, run_campaign
+from repro.campaign.store import (
+    DETERMINISTIC_SUMMARY_KEYS,
+    CampaignResult,
+    ScenarioOutcome,
+)
+
+__all__ = [
+    "CircuitSpec",
+    "Scenario",
+    "apply_option_overrides",
+    "grid_sweep",
+    "corner_sweep",
+    "monte_carlo_sweep",
+    "sample_distribution",
+    "run_campaign",
+    "execute_scenario",
+    "default_workers",
+    "CampaignResult",
+    "ScenarioOutcome",
+    "DETERMINISTIC_SUMMARY_KEYS",
+]

@@ -1,0 +1,248 @@
+"""Scenario execution: serial and process-parallel campaign runs.
+
+Scenarios are independent, so a campaign is embarrassingly parallel: the
+runner ships each scenario (as a plain dict) to a
+:class:`concurrent.futures.ProcessPoolExecutor` worker, which rebuilds the
+circuit through the factory registry, runs the transient analysis and
+returns a :class:`~repro.campaign.store.ScenarioOutcome`.
+
+Three properties matter for correctness and throughput:
+
+* **Assembly reuse** -- a worker keeps the assembled
+  :class:`~repro.circuit.mna.MNASystem` of each distinct circuit spec in a
+  small per-process cache, so a sweep that runs N methods x K option sets
+  on one circuit builds its MNA matrices once per worker instead of N*K
+  times.  (Device evaluation is stateless, so reuse cannot change
+  results; the serial-equals-parallel test locks this in.)
+* **Failure capture** -- a scenario that raises, diverges or exceeds its
+  timeout produces a failure outcome with the traceback attached; it never
+  takes down the campaign.
+* **Per-scenario timeout** -- enforced inside the worker with
+  ``signal.setitimer`` where available (POSIX main thread), so a hung
+  scenario frees its worker instead of blocking the pool's queue.
+
+The serial path runs the *identical* scenario-execution function in the
+parent process, which makes it both the fallback for single-core machines
+and the oracle for determinism tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.scenario import Scenario
+from repro.campaign.store import CampaignResult, ScenarioOutcome
+from repro.core.options import SimOptions
+from repro.core.simulator import TransientSimulator
+
+__all__ = ["run_campaign", "execute_scenario", "default_workers"]
+
+#: per-worker cache of assembled MNA systems, keyed by CircuitSpec.cache_key()
+_MNA_CACHE: Dict[str, object] = {}
+#: cap on cached assemblies per worker (FIFO eviction); campaigns rarely
+#: touch more than a handful of distinct circuits per worker
+_MNA_CACHE_MAX = 8
+
+
+class _ScenarioTimeout(Exception):
+    """Raised inside a worker when the per-scenario timer fires."""
+
+
+def _timeout_guard(seconds: Optional[float]):
+    """Arm a SIGALRM-based timeout if the platform allows it.
+
+    Returns a disarm callable.  On platforms without ``setitimer`` (or off
+    the main thread) the guard is a no-op and timeouts are best-effort.
+    """
+    if (
+        seconds is None
+        or seconds <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return lambda: None
+
+    def _on_alarm(signum, frame):
+        raise _ScenarioTimeout(f"scenario exceeded its {seconds:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+
+    def _disarm():
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+    return _disarm
+
+
+def _cached_mna(scenario: Scenario) -> Tuple[object, bool]:
+    """Build (or fetch) the assembled MNA system for the scenario's circuit."""
+    key = scenario.circuit.cache_key()
+    if key in _MNA_CACHE:
+        return _MNA_CACHE[key], True
+    circuit = scenario.circuit.build()
+    mna = circuit.build()
+    while len(_MNA_CACHE) >= _MNA_CACHE_MAX:
+        _MNA_CACHE.pop(next(iter(_MNA_CACHE)))
+    _MNA_CACHE[key] = mna
+    return mna, False
+
+
+def execute_scenario(
+    scenario_data: Dict[str, object],
+    base_options_data: Optional[Dict[str, object]] = None,
+    timeout: Optional[float] = None,
+    sample_points: int = 101,
+) -> Dict[str, object]:
+    """Run one scenario and return its outcome as a plain dict.
+
+    This function is the unit shipped to pool workers; it never raises --
+    every failure mode is folded into the outcome's status/traceback.
+    """
+    scenario = Scenario.from_dict(scenario_data)
+    outcome = ScenarioOutcome(scenario=scenario, worker=os.getpid())
+    wall_start = time.perf_counter()
+    disarm = _timeout_guard(timeout)
+    try:
+        base = SimOptions.from_dict(base_options_data) if base_options_data else None
+        options = scenario.sim_options(base)
+        if scenario.observe:
+            observe = list(dict.fromkeys(list(options.observe_nodes) + scenario.observe))
+            options = options.with_updates(observe_nodes=observe)
+        mna, cache_hit = _cached_mna(scenario)
+        outcome.cache_hit = cache_hit
+        outcome.structure = mna.structure_stats().as_dict()
+        simulator = TransientSimulator(mna, method=scenario.method, options=options)
+        result = simulator.run()
+        outcome.summary = result.summary()
+        outcome.status = "ok" if result.stats.completed else "failed"
+        if not result.stats.completed:
+            outcome.error = result.stats.failure_reason
+        elif scenario.observe:
+            grid = np.linspace(options.t_start, options.t_stop, int(sample_points))
+            outcome.sample_times = [float(t) for t in grid]
+            times = result.time_array
+            for node in scenario.observe:
+                values = np.interp(grid, times, result.voltage(node))
+                outcome.samples[node] = [float(v) for v in values]
+    except _ScenarioTimeout as exc:
+        outcome.status = "timeout"
+        outcome.error = str(exc)
+    except Exception as exc:  # noqa: BLE001 -- failure capture is the contract
+        outcome.status = "error"
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.traceback = traceback_module.format_exc()
+    finally:
+        disarm()
+        outcome.runtime_seconds = time.perf_counter() - wall_start
+    return outcome.to_dict()
+
+
+def default_workers(num_scenarios: int) -> int:
+    """Worker count: one per core, never more than there are scenarios."""
+    return max(1, min(os.cpu_count() or 1, num_scenarios))
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    base_options: Optional[SimOptions] = None,
+    mode: str = "auto",
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    sample_points: int = 101,
+    progress: Optional[Callable[[ScenarioOutcome, int, int], None]] = None,
+) -> CampaignResult:
+    """Execute ``scenarios`` and collect a :class:`CampaignResult`.
+
+    Parameters
+    ----------
+    base_options:
+        :class:`SimOptions` every scenario's overrides are applied on top
+        of (defaults to ``SimOptions()``).
+    mode:
+        ``"process"`` forces the pool, ``"serial"`` runs in-process,
+        ``"auto"`` picks the pool when more than one worker is useful.
+    workers:
+        Pool size; defaults to :func:`default_workers`.
+    timeout:
+        Per-scenario wall-clock budget in seconds (enforced in the worker
+        where the platform supports timers; see :func:`execute_scenario`).
+    progress:
+        Optional callback ``(outcome, done, total)`` invoked as outcomes
+        arrive (in completion order under the pool).
+
+    Outcomes are returned in scenario order regardless of completion
+    order, and per-scenario statistics are identical between serial and
+    process execution (the circuits are rebuilt from the same specs and
+    the integrators are deterministic).
+    """
+    scenarios = list(scenarios)
+    names = [s.name for s in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError("scenario names within a campaign must be unique")
+    if mode not in ("auto", "serial", "process"):
+        raise ValueError(f"unknown mode {mode!r}; expected auto|serial|process")
+    if workers is None:
+        workers = default_workers(len(scenarios))
+    use_pool = mode == "process" or (mode == "auto" and workers > 1 and len(scenarios) > 1)
+
+    base_data = base_options.to_dict() if base_options is not None else None
+    payloads = [s.to_dict() for s in scenarios]
+    outcome_dicts: List[Optional[Dict[str, object]]] = [None] * len(scenarios)
+    wall_start = time.perf_counter()
+    done = 0
+
+    def _deliver(index: int, data: Dict[str, object]) -> None:
+        nonlocal done
+        outcome_dicts[index] = data
+        done += 1
+        if progress is not None:
+            progress(ScenarioOutcome.from_dict(data), done, len(scenarios))
+
+    if not use_pool:
+        executed_mode = "serial"
+        # mirror the lifetime of a pool worker's cache: fresh per campaign
+        _MNA_CACHE.clear()
+        for index, payload in enumerate(payloads):
+            _deliver(index, execute_scenario(payload, base_data, timeout, sample_points))
+    else:
+        executed_mode = "process"
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(execute_scenario, payload, base_data, timeout, sample_points): i
+                for i, payload in enumerate(payloads)
+            }
+            while pending:
+                finished, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = pending.pop(future)
+                    try:
+                        data = future.result()
+                    except Exception as exc:  # worker death / pickling failure
+                        failure = ScenarioOutcome(
+                            scenario=scenarios[index],
+                            status="error",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        data = failure.to_dict()
+                    _deliver(index, data)
+
+    outcomes = [ScenarioOutcome.from_dict(d) for d in outcome_dicts]
+    metadata = {
+        "mode": executed_mode,
+        "workers": workers if executed_mode == "process" else 1,
+        "num_scenarios": len(scenarios),
+        "timeout": timeout,
+        "sample_points": sample_points,
+        "wall_seconds": time.perf_counter() - wall_start,
+        "base_options": base_data,
+    }
+    return CampaignResult(outcomes=outcomes, metadata=metadata)

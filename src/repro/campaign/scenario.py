@@ -1,0 +1,188 @@
+"""Declarative scenario descriptions.
+
+A :class:`Scenario` is the unit of work of a campaign: *which circuit*
+(by registered factory name + parameters, so any worker process can
+rebuild it), *which integration method*, and *which simulation options*.
+Scenarios are plain data -- picklable, JSON-serializable via
+:meth:`Scenario.to_dict` / :meth:`Scenario.from_dict` -- because they
+cross process boundaries and land in campaign report files.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.benchcircuits.registry import build_circuit
+from repro.circuit.netlist import Circuit
+from repro.core.options import SimOptions
+
+__all__ = ["CircuitSpec", "Scenario", "apply_option_overrides"]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """A circuit identified by factory name plus keyword parameters.
+
+    ``module``, when given, is imported before the factory lookup so that
+    user-defined factories registered at import time of that module are
+    available in freshly spawned workers (the built-in factories register
+    themselves when ``repro.benchcircuits`` is imported).
+    """
+
+    factory: str
+    params: Dict[str, object] = field(default_factory=dict)
+    module: Optional[str] = None
+
+    def build(self) -> Circuit:
+        if self.module:
+            importlib.import_module(self.module)
+        return build_circuit(self.factory, **self.params)
+
+    def cache_key(self) -> str:
+        """Stable identity used by the per-worker assembly cache."""
+        return json.dumps(
+            {"factory": self.factory.strip().lower(), "params": self.params},
+            sort_keys=True, default=repr,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"factory": self.factory, "params": dict(self.params)}
+        if self.module:
+            out["module"] = self.module
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CircuitSpec":
+        return cls(
+            factory=str(data["factory"]),
+            params=dict(data.get("params", {})),
+            module=data.get("module"),
+        )
+
+
+def apply_option_overrides(options: SimOptions, overrides: Dict[str, object]) -> SimOptions:
+    """Apply flat or dotted overrides (``"newton.abstol"``) to ``options``.
+
+    Returns a new :class:`SimOptions`; nothing is mutated.  Plain keys map
+    to :meth:`SimOptions.with_updates`; dotted keys descend into the nested
+    option dataclasses (``newton``, ``dc``, ``dc.newton``).
+    """
+    flat: Dict[str, object] = {}
+    nested: Dict[str, Dict[str, object]] = {}
+    for key, value in overrides.items():
+        if "." in key:
+            head, rest = key.split(".", 1)
+            nested.setdefault(head, {})[rest] = value
+        else:
+            flat[key] = value
+    if flat:
+        options = options.with_updates(**flat)
+    for head, sub in nested.items():
+        child = getattr(options, head, None)
+        if child is None or not hasattr(child, "__dataclass_fields__"):
+            raise ValueError(f"cannot apply dotted override to non-nested field {head!r}")
+        updated = apply_option_overrides_nested(child, sub)
+        options = options.with_updates(**{head: updated})
+    return options
+
+
+def apply_option_overrides_nested(obj, overrides: Dict[str, object]):
+    """Recursive worker of :func:`apply_option_overrides` for sub-options."""
+    flat: Dict[str, object] = {}
+    for key, value in overrides.items():
+        if "." in key:
+            head, rest = key.split(".", 1)
+            child = getattr(obj, head)
+            flat[head] = apply_option_overrides_nested(child, {rest: value})
+        else:
+            flat[key] = value
+    return replace(obj, **flat)
+
+
+@dataclass
+class Scenario:
+    """One fully specified simulation run.
+
+    Attributes
+    ----------
+    name:
+        Unique label within a campaign (the planner generates one from the
+        sweep coordinates).
+    circuit:
+        The :class:`CircuitSpec` the workers rebuild.
+    method:
+        Integration method key (``"benr"``, ``"tr"``, ``"er"``, ``"er-c"``...).
+    options:
+        :class:`SimOptions` overrides as a flat dict.  Dotted keys reach
+        nested options (``{"newton.abstol": 1e-8}``).  Applied on top of
+        the campaign's base options.
+    seed:
+        Deterministic scenario seed assigned by the planner.  Purely
+        informational once the planner has folded it into the circuit
+        parameters, but kept so a scenario is self-describing.
+    observe:
+        Node names whose waveforms are sampled into the outcome summary
+        (used for the error-vs-reference columns of the campaign table).
+    tags:
+        Free-form metadata (sweep coordinates, corner names...) carried
+        into the aggregate tables untouched.
+    """
+
+    name: str
+    circuit: CircuitSpec
+    method: str = "er"
+    options: Dict[str, object] = field(default_factory=dict)
+    seed: Optional[int] = None
+    observe: List[str] = field(default_factory=list)
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def sim_options(self, base: Optional[SimOptions] = None) -> SimOptions:
+        """Resolve the concrete :class:`SimOptions` for this scenario."""
+        options = base if base is not None else SimOptions()
+        if self.options:
+            options = apply_option_overrides(options, self.options)
+        return options
+
+    def variant_key(self) -> str:
+        """Identity of the scenario *modulo method*.
+
+        Two scenarios with equal variant keys simulate the same circuit
+        under the same options with different integrators -- exactly the
+        pairs the aggregator compares when computing speedups and errors
+        against a reference method.
+        """
+        payload = self.to_dict()
+        payload.pop("name", None)
+        payload.pop("method", None)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "circuit": self.circuit.to_dict(),
+            "method": self.method,
+        }
+        if self.options:
+            out["options"] = dict(self.options)
+        if self.seed is not None:
+            out["seed"] = int(self.seed)
+        if self.observe:
+            out["observe"] = list(self.observe)
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        return cls(
+            name=str(data["name"]),
+            circuit=CircuitSpec.from_dict(data["circuit"]),
+            method=str(data.get("method", "er")),
+            options=dict(data.get("options", {})),
+            seed=data.get("seed"),
+            observe=list(data.get("observe", [])),
+            tags=dict(data.get("tags", {})),
+        )

@@ -2,9 +2,13 @@
 
 from repro.core.options import SimOptions, NewtonOptions, DCOptions
 from repro.core.results import SimulationResult, StepRecord, RunStatistics
+from repro.core.rng import as_generator, derive_seed, spawn_seeds
 from repro.core.simulator import TransientSimulator, simulate
 
 __all__ = [
+    "as_generator",
+    "derive_seed",
+    "spawn_seeds",
     "SimOptions",
     "NewtonOptions",
     "DCOptions",

@@ -10,10 +10,50 @@ correction term) and standard SPICE practice elsewhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional
 
 __all__ = ["NewtonOptions", "DCOptions", "SimOptions"]
+
+
+def _dataclass_to_dict(obj) -> Dict[str, object]:
+    """Serialize a (possibly nested) options dataclass into plain builtins."""
+    out: Dict[str, object] = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if hasattr(value, "to_dict"):
+            out[f.name] = value.to_dict()
+        elif isinstance(value, list):
+            out[f.name] = list(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def _dataclass_from_dict(cls, data: Dict[str, object], nested: Dict[str, type]):
+    """Reconstruct ``cls`` from :func:`_dataclass_to_dict` output.
+
+    Unknown keys raise so that typos in serialized option files fail loudly
+    instead of silently falling back to defaults.  Nested fields accept
+    either an already-built options object or its dict form.
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"{cls.__name__}.from_dict expects a dict, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s): {', '.join(sorted(map(str, unknown)))}"
+        )
+    kwargs: Dict[str, object] = {}
+    for key, value in data.items():
+        if key in nested and isinstance(value, dict):
+            kwargs[key] = nested[key].from_dict(value)
+        elif isinstance(value, list):
+            kwargs[key] = list(value)
+        else:
+            kwargs[key] = value
+    return cls(**kwargs)
 
 
 @dataclass
@@ -41,6 +81,15 @@ class NewtonOptions:
         if not (0.0 < self.damping <= 1.0):
             raise ValueError("Newton damping must lie in (0, 1]")
 
+    def to_dict(self) -> Dict[str, object]:
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NewtonOptions":
+        options = _dataclass_from_dict(cls, data, nested={})
+        options.validate()
+        return options
+
 
 @dataclass
 class DCOptions:
@@ -57,6 +106,13 @@ class DCOptions:
     )
     #: skip the DC solve and start from the circuit's ``.ic`` vector
     use_initial_conditions: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DCOptions":
+        return _dataclass_from_dict(cls, data, nested={"newton": NewtonOptions})
 
 
 @dataclass
@@ -155,3 +211,21 @@ class SimOptions:
     def with_updates(self, **kwargs) -> "SimOptions":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    # -- serialization ----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize (recursively) into JSON/pickle-friendly builtins.
+
+        ``SimOptions.from_dict(options.to_dict())`` round-trips exactly;
+        the campaign scenario layer ships options between processes in this
+        form.
+        """
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimOptions":
+        """Rebuild from :meth:`to_dict` output (validating on construction)."""
+        return _dataclass_from_dict(
+            cls, data, nested={"newton": NewtonOptions, "dc": DCOptions}
+        )

@@ -30,6 +30,7 @@ from repro.core.options import SimOptions
 from repro.core.results import SimulationResult
 from repro.integrators import INTEGRATOR_REGISTRY
 from repro.integrators.base import Integrator
+from repro.linalg.sparse_lu import LUStats
 
 __all__ = ["TransientSimulator", "simulate"]
 
@@ -57,6 +58,8 @@ class TransientSimulator:
         self.method = self._normalize_method(method)
         self.integrator = self._make_integrator()
         self.dc_result: Optional[DCResult] = None
+        #: LU work of the cached DC solve, attributed to every run that uses it
+        self._dc_lu_stats = LUStats()
 
     # -- construction helpers -----------------------------------------------------------
 
@@ -86,9 +89,10 @@ class TransientSimulator:
     def run_dc(self) -> DCResult:
         """Compute (and cache) the DC operating point used as ``x(0)``."""
         if self.dc_result is None:
+            self._dc_lu_stats = LUStats()
             self.dc_result = dc_operating_point(
                 self.mna, self.options.dc, gshunt=self.options.gshunt,
-                lu_stats=self.integrator.stats.lu,
+                lu_stats=self._dc_lu_stats,
                 max_factor_nnz=self.options.max_factor_nnz,
             )
         return self.dc_result
@@ -97,7 +101,11 @@ class TransientSimulator:
         """Run the transient analysis and return the result.
 
         ``x0`` overrides the starting state; by default the DC operating
-        point is computed first (Algorithm 2, line 2).
+        point is computed first (Algorithm 2, line 2), reusing the result
+        cached by an earlier :meth:`run_dc` call when one exists.  The DC
+        solve's LU counters are merged into every result that starts from
+        it, so the Table-I statistics do not depend on whether (or how
+        often) the cache was warmed.
         """
         result = SimulationResult(
             self.mna, method=self.integrator.name,
@@ -105,12 +113,8 @@ class TransientSimulator:
             observe_nodes=self.options.observe_nodes,
         )
         if x0 is None:
-            dc = dc_operating_point(
-                self.mna, self.options.dc, gshunt=self.options.gshunt,
-                lu_stats=result.stats.lu,
-                max_factor_nnz=self.options.max_factor_nnz,
-            )
-            self.dc_result = dc
+            dc = self.run_dc()
+            result.stats.lu.merge(self._dc_lu_stats)
             if not dc.converged:
                 result.stats.completed = False
                 result.stats.failure_reason = "DC operating point did not converge"

@@ -1,6 +1,11 @@
 """Report generation for the paper's tables and figures."""
 
 from repro.reporting.tables import format_table, table1_rows, render_table1
+from repro.reporting.campaign_tables import (
+    campaign_rows,
+    render_campaign_table,
+    render_method_matrix,
+)
 from repro.reporting.figures import (
     Figure1Report,
     figure1_nnz_report,
@@ -12,6 +17,9 @@ __all__ = [
     "format_table",
     "table1_rows",
     "render_table1",
+    "campaign_rows",
+    "render_campaign_table",
+    "render_method_matrix",
     "Figure1Report",
     "figure1_nnz_report",
     "Figure2Report",

@@ -1,0 +1,11 @@
+"""Helper module for test_campaign: a user circuit factory registered at
+import time, referenced by scenarios via ``CircuitSpec(module=...)``."""
+
+from repro.benchcircuits import register_circuit_factory
+from repro.benchcircuits.rc_networks import rc_mesh
+
+
+@register_circuit_factory("user_random_mesh")
+def user_random_mesh(rows: int = 4, cols: int = 4, seed=0):
+    return rc_mesh(rows, cols, coupling_fraction=0.8, seed=seed,
+                   name="user_random_mesh")

@@ -1,0 +1,419 @@
+"""Tests for the repro.campaign scenario-sweep subsystem."""
+
+import pytest
+
+from repro.benchcircuits import (
+    build_circuit,
+    circuit_factory_names,
+    factory_accepts_seed,
+    get_circuit_factory,
+    register_circuit_factory,
+)
+from repro.campaign import (
+    CampaignResult,
+    CircuitSpec,
+    Scenario,
+    ScenarioOutcome,
+    apply_option_overrides,
+    corner_sweep,
+    default_workers,
+    execute_scenario,
+    grid_sweep,
+    monte_carlo_sweep,
+    run_campaign,
+)
+from repro.campaign.sweep import sample_distribution
+from repro.core.options import SimOptions
+from repro.core.rng import as_generator
+from repro.reporting import render_campaign_table, render_method_matrix
+
+FAST_OPTIONS = SimOptions(t_stop=0.1e-9, h_init=2e-12, store_states=False)
+
+
+def small_scenarios(methods=("benr", "er"), budgets=(1e-3, 1e-4)):
+    return grid_sweep(
+        circuits=[("rc_mesh", {"rows": 4, "cols": 4, "coupling_fraction": 0.5})],
+        methods=list(methods),
+        option_grid={"err_budget": list(budgets)},
+        observe=["n2_2"],
+    )
+
+
+class TestRegistry:
+    def test_builtin_factories_registered(self):
+        names = circuit_factory_names()
+        for expected in ("rc_ladder", "rc_mesh", "power_grid", "coupled_lines",
+                         "driven_coupled_bus", "freecpu_like_circuit",
+                         "ckt1", "ckt8"):
+            assert expected in names
+
+    def test_build_circuit(self):
+        ckt = build_circuit("rc_ladder", num_segments=3)
+        assert ckt.num_nodes >= 3
+
+    def test_testcase_factory_builds_circuit(self):
+        ckt = build_circuit("ckt1", scale=0.1)
+        assert ckt.num_devices > 0
+
+    def test_unknown_factory(self):
+        with pytest.raises(KeyError, match="no_such_factory"):
+            get_circuit_factory("no_such_factory")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_circuit_factory("rc_ladder", lambda: None)
+
+    def test_factory_accepts_seed(self):
+        assert factory_accepts_seed("rc_mesh")
+        assert not factory_accepts_seed("rc_ladder")
+
+
+class TestScenario:
+    def test_round_trip(self):
+        scenario = Scenario(
+            name="s1",
+            circuit=CircuitSpec("rc_mesh", {"rows": 4, "cols": 4, "seed": 3}),
+            method="er-c",
+            options={"err_budget": 1e-5, "newton.abstol": 1e-8},
+            seed=3,
+            observe=["n1_1"],
+            tags={"corner": "slow"},
+        )
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored == scenario
+
+    def test_scenarios_are_picklable(self):
+        import pickle
+
+        scenario = small_scenarios()[0]
+        assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+    def test_sim_options_applies_overrides(self):
+        scenario = Scenario(
+            name="s", circuit=CircuitSpec("rc_ladder"),
+            options={"err_budget": 5e-6, "newton.max_iterations": 9},
+        )
+        options = scenario.sim_options(SimOptions(t_stop=3e-9))
+        assert options.t_stop == 3e-9
+        assert options.err_budget == 5e-6
+        assert options.newton.max_iterations == 9
+        # the base object is untouched
+        assert SimOptions(t_stop=3e-9).newton.max_iterations == 50
+
+    def test_dotted_override_three_levels(self):
+        options = apply_option_overrides(SimOptions(), {"dc.newton.abstol": 1e-10})
+        assert options.dc.newton.abstol == 1e-10
+        assert SimOptions().dc.newton.abstol != 1e-10
+
+    def test_dotted_override_rejects_scalar_head(self):
+        with pytest.raises(ValueError):
+            apply_option_overrides(SimOptions(), {"t_stop.bogus": 1.0})
+
+    def test_variant_key_ignores_method_and_name(self):
+        scenarios = small_scenarios(methods=("benr", "er"), budgets=(1e-3,))
+        assert scenarios[0].variant_key() == scenarios[1].variant_key()
+
+    def test_build_circuit_via_spec(self):
+        spec = CircuitSpec("rc_mesh", {"rows": 4, "cols": 4})
+        ckt = spec.build()
+        assert ckt.num_nodes >= 16
+
+
+class TestSweepPlanners:
+    def test_grid_sweep_shape_and_names(self):
+        scenarios = grid_sweep(
+            circuits=["rc_ladder", ("rc_mesh", {"rows": 4, "cols": 4})],
+            methods=["benr", "er", "er-c"],
+            option_grid={"err_budget": [1e-3, 1e-4]},
+        )
+        assert len(scenarios) == 2 * 3 * 2
+        names = [s.name for s in scenarios]
+        assert len(set(names)) == len(names)
+
+    def test_grid_sweep_seed_fixed_across_methods_and_options(self):
+        scenarios = grid_sweep(
+            circuits=[("rc_mesh", {"rows": 4, "cols": 4, "coupling_fraction": 0.5})],
+            methods=["benr", "er"],
+            option_grid={"err_budget": [1e-3, 1e-4]},
+        )
+        seeds = {s.circuit.params["seed"] for s in scenarios}
+        assert len(seeds) == 1, "option/method variants must share the netlist seed"
+
+    def test_grid_sweep_param_grid_changes_seed_inputs(self):
+        scenarios = grid_sweep(
+            circuits=[("rc_mesh", {"rows": 4, "cols": 4})],
+            methods=["er"],
+            param_grid={"coupling_fraction": [0.2, 0.8]},
+        )
+        assert scenarios[0].circuit.params["coupling_fraction"] == 0.2
+        assert scenarios[1].circuit.params["coupling_fraction"] == 0.8
+
+    def test_grid_sweep_respects_pinned_seed(self):
+        scenarios = grid_sweep(
+            circuits=[("rc_mesh", {"rows": 4, "cols": 4, "seed": 77})],
+            methods=["er"],
+        )
+        assert scenarios[0].circuit.params["seed"] == 77
+
+    def test_corner_sweep(self):
+        scenarios = corner_sweep(
+            ["rc_ladder"], ["er", "tr"],
+            corners={
+                "slow": {"params": {"r_per_segment": 200.0}},
+                "fast": {"params": {"r_per_segment": 50.0}, "options": {"err_budget": 1e-5}},
+            },
+        )
+        assert len(scenarios) == 4
+        fast_er = next(s for s in scenarios if s.tags.get("corner") == "fast" and s.method == "er")
+        assert fast_er.circuit.params["r_per_segment"] == 50.0
+        assert fast_er.options == {"err_budget": 1e-5}
+
+    def test_corner_sweep_option_only_corners_share_netlist_seed(self):
+        scenarios = corner_sweep(
+            [("rc_mesh", {"rows": 4, "cols": 4, "coupling_fraction": 0.5})], ["er"],
+            corners={
+                "tight": {"options": {"err_budget": 1e-5}},
+                "loose": {"options": {"err_budget": 1e-3}},
+                "dense": {"params": {"coupling_fraction": 0.9}},
+            },
+        )
+        by_corner = {s.tags["corner"]: s for s in scenarios}
+        assert (by_corner["tight"].circuit.params["seed"]
+                == by_corner["loose"].circuit.params["seed"]), \
+            "option-only corners must compare on the identical netlist"
+        assert (by_corner["dense"].circuit.params["seed"]
+                != by_corner["tight"].circuit.params["seed"])
+
+    def test_module_referenced_factory_gets_seed_injection(self):
+        """A user factory referenced via CircuitSpec(module=...) must be
+        importable by the planner so Monte-Carlo draws receive their seeds."""
+        scenarios = monte_carlo_sweep(
+            [CircuitSpec("user_random_mesh", module="_campaign_user_factory")],
+            ["er"], draws=3,
+        )
+        seeds = [s.circuit.params.get("seed") for s in scenarios]
+        assert all(seed is not None for seed in seeds)
+        assert len(set(seeds)) == 3, "each draw must build a distinct netlist"
+
+    def test_corner_sweep_rejects_unknown_corner_keys(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            corner_sweep(["rc_ladder"], ["er"], corners={"bad": {"parms": {}}})
+
+    def test_monte_carlo_sweep_is_reproducible(self):
+        kwargs = dict(
+            circuits=[("rc_mesh", {"rows": 4, "cols": 4})],
+            methods=["er"],
+            draws=4,
+            param_distributions={"coupling_fraction": ("uniform", 0.0, 1.0)},
+            base_seed=5,
+        )
+        first = monte_carlo_sweep(**kwargs)
+        second = monte_carlo_sweep(**kwargs)
+        assert [s.to_dict() for s in first] == [s.to_dict() for s in second]
+        draws = [s.circuit.params["coupling_fraction"] for s in first]
+        assert len(set(draws)) == len(draws)
+
+    def test_monte_carlo_needs_draws(self):
+        with pytest.raises(ValueError):
+            monte_carlo_sweep(["rc_ladder"], ["er"], draws=0)
+
+    def test_sample_distribution_kinds(self):
+        rng = as_generator(0)
+        assert 0.0 <= sample_distribution(("uniform", 0.0, 1.0), rng) <= 1.0
+        lo, hi = 1e-6, 1e-3
+        assert lo <= sample_distribution(("loguniform", lo, hi), rng) <= hi
+        assert sample_distribution(("choice", ["a", "b"]), rng) in ("a", "b")
+        assert 2 <= sample_distribution(("randint", 2, 5), rng) < 5
+        assert isinstance(sample_distribution(("normal", 0.0, 1.0), rng), float)
+        assert sample_distribution(lambda r: 42, rng) == 42
+        with pytest.raises(ValueError):
+            sample_distribution(("bogus", 1), rng)
+
+
+class TestSerialExecution:
+    def test_campaign_runs_and_aggregates(self):
+        scenarios = small_scenarios()
+        campaign = run_campaign(scenarios, base_options=FAST_OPTIONS, mode="serial")
+        assert len(campaign) == len(scenarios)
+        assert campaign.num_ok == len(scenarios)
+        assert campaign.metadata["mode"] == "serial"
+        for outcome in campaign:
+            assert outcome.summary["#step"] > 0
+            assert outcome.structure["#N"] > 0
+            assert outcome.samples["n2_2"]
+
+    def test_assembly_cache_reused_within_worker(self):
+        scenarios = small_scenarios()
+        campaign = run_campaign(scenarios, base_options=FAST_OPTIONS, mode="serial")
+        hits = [o.cache_hit for o in campaign]
+        assert hits[0] is False
+        assert all(hits[1:]), "scenarios sharing a circuit spec must reuse the assembly"
+
+    def test_cache_reuse_does_not_change_results(self):
+        scenarios = small_scenarios(methods=("er",), budgets=(1e-3,)) * 1
+        twice = scenarios + [
+            Scenario.from_dict({**scenarios[0].to_dict(), "name": "again"})
+        ]
+        campaign = run_campaign(twice, base_options=FAST_OPTIONS, mode="serial")
+        first, second = campaign.outcomes
+        assert second.cache_hit
+        assert first.deterministic_summary() == second.deterministic_summary()
+        assert first.samples == second.samples
+
+    def test_error_capture(self):
+        bad = Scenario(name="bad", circuit=CircuitSpec("rc_ladder", {"num_segments": 3}),
+                       method="no_such_method")
+        campaign = run_campaign([bad], base_options=FAST_OPTIONS, mode="serial")
+        outcome = campaign.outcome_for("bad")
+        assert outcome.status == "error"
+        assert "no_such_method" in outcome.error
+        assert outcome.traceback
+
+    def test_failure_does_not_stop_campaign(self):
+        scenarios = [
+            Scenario(name="bad", circuit=CircuitSpec("rc_ladder", {"num_segments": 0})),
+            Scenario(name="good", circuit=CircuitSpec("rc_ladder", {"num_segments": 3})),
+        ]
+        campaign = run_campaign(scenarios, base_options=FAST_OPTIONS, mode="serial")
+        assert campaign.outcome_for("bad").status == "error"
+        assert campaign.outcome_for("good").status == "ok"
+        assert len(campaign.failures) == 1
+
+    def test_timeout_capture(self):
+        slow = Scenario(
+            name="slow",
+            circuit=CircuitSpec("rc_mesh", {"rows": 6, "cols": 6}),
+            method="benr",
+            # force thousands of tiny steps so the scenario cannot finish
+            options={"t_stop": 1e-9, "h_init": 1e-14, "h_max": 1e-14},
+        )
+        campaign = run_campaign([slow], mode="serial", timeout=0.2)
+        outcome = campaign.outcome_for("slow")
+        assert outcome.status == "timeout"
+        assert "timeout" in outcome.error
+
+    def test_duplicate_names_rejected(self):
+        scenario = small_scenarios()[0]
+        with pytest.raises(ValueError, match="unique"):
+            run_campaign([scenario, scenario], mode="serial")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_campaign(small_scenarios(), mode="warp")
+
+    def test_progress_callback(self):
+        seen = []
+        scenarios = small_scenarios(methods=("er",))
+        run_campaign(
+            scenarios, base_options=FAST_OPTIONS, mode="serial",
+            progress=lambda outcome, done, total: seen.append((outcome.scenario.name, done, total)),
+        )
+        assert len(seen) == len(scenarios)
+        assert seen[-1][1] == seen[-1][2] == len(scenarios)
+
+
+class TestParallelExecution:
+    def test_process_pool_matches_serial(self):
+        scenarios = small_scenarios()
+        serial = run_campaign(scenarios, base_options=FAST_OPTIONS, mode="serial")
+        parallel = run_campaign(
+            scenarios, base_options=FAST_OPTIONS, mode="process", workers=2
+        )
+        assert parallel.metadata["mode"] == "process"
+        for a, b in zip(serial, parallel):
+            assert a.scenario.name == b.scenario.name
+            assert a.deterministic_summary() == b.deterministic_summary()
+            assert a.samples == b.samples
+
+    def test_process_pool_captures_scenario_errors(self):
+        scenarios = [
+            Scenario(name="bad", circuit=CircuitSpec("rc_ladder", {"num_segments": 0})),
+            small_scenarios(methods=("er",), budgets=(1e-3,))[0],
+        ]
+        campaign = run_campaign(
+            scenarios, base_options=FAST_OPTIONS, mode="process", workers=2
+        )
+        assert campaign.outcome_for("bad").status == "error"
+        assert campaign.num_ok == 1
+
+    def test_default_workers_bounded_by_scenarios(self):
+        assert default_workers(1) == 1
+        assert 1 <= default_workers(1000)
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(small_scenarios(), base_options=FAST_OPTIONS, mode="serial")
+
+    def test_rows_with_reference(self, campaign):
+        rows = campaign.rows(reference_method="benr")
+        by_name = {row["scenario"]: row for row in rows}
+        for row in rows:
+            if row["method"] == "BENR":
+                assert row["SP"] == pytest.approx(1.0)
+                assert row["max_err"] == 0.0
+            else:
+                assert row["SP"] is not None and row["SP"] > 0
+                assert row["max_err"] is not None and row["max_err"] >= 0
+        assert len(by_name) == len(campaign)
+
+    def test_by_variant_groups_methods(self, campaign):
+        groups = campaign.by_variant()
+        assert len(groups) == 2  # two err_budget values
+        for group in groups.values():
+            assert sorted(o.scenario.method for o in group) == ["benr", "er"]
+
+    def test_render_campaign_table(self, campaign):
+        text = render_campaign_table(campaign, reference_method="benr")
+        assert "scenario" in text and "SP" in text and "max_err" in text
+        assert "BENR" in text and "ER" in text
+
+    def test_render_method_matrix(self, campaign):
+        text = render_method_matrix(campaign, reference_method="benr")
+        assert "variant" in text
+        assert "benr #step" in text and "er SP" in text
+
+    def test_render_method_matrix_normalizes_method_case(self, campaign):
+        text = render_method_matrix(campaign, methods=["BENR", "ER"])
+        lowered = render_method_matrix(campaign, methods=["benr", "er"])
+        assert text == lowered
+        # the data cells are populated, not blank NA blocks
+        assert text.count("NA") == 0
+
+    def test_json_round_trip(self, campaign):
+        restored = CampaignResult.from_json(campaign.to_json())
+        assert len(restored) == len(campaign)
+        for a, b in zip(campaign, restored):
+            assert a.to_dict() == b.to_dict()
+        assert restored.metadata["mode"] == "serial"
+
+    def test_save_load(self, campaign, tmp_path):
+        path = campaign.save(tmp_path / "campaign.json")
+        restored = CampaignResult.load(path)
+        assert restored.rows(reference_method="benr") == campaign.rows(reference_method="benr")
+
+    def test_outcome_for_unknown(self, campaign):
+        with pytest.raises(KeyError):
+            campaign.outcome_for("nope")
+
+    def test_failed_reference_yields_na(self):
+        scenarios = [
+            Scenario(name="ref", circuit=CircuitSpec("rc_ladder", {"num_segments": 0}),
+                     method="benr"),
+            Scenario(name="er", circuit=CircuitSpec("rc_ladder", {"num_segments": 0}),
+                     method="er"),
+        ]
+        campaign = run_campaign(scenarios, base_options=FAST_OPTIONS, mode="serial")
+        rows = campaign.rows(reference_method="benr")
+        assert all(row["SP"] is None for row in rows)
+
+
+class TestExecuteScenario:
+    def test_returns_plain_dict(self):
+        scenario = small_scenarios(methods=("er",), budgets=(1e-3,))[0]
+        data = execute_scenario(scenario.to_dict(), FAST_OPTIONS.to_dict())
+        outcome = ScenarioOutcome.from_dict(data)
+        assert outcome.ok
+        assert outcome.worker is not None
+        assert outcome.runtime_seconds > 0

@@ -8,12 +8,17 @@ returns a :class:`~repro.campaign.store.ScenarioOutcome`.
 
 Three properties matter for correctness and throughput:
 
-* **Assembly reuse** -- a worker keeps the assembled
+* **Assembly and DC reuse** -- a worker keeps the assembled
   :class:`~repro.circuit.mna.MNASystem` of each distinct circuit spec in a
   small per-process cache, so a sweep that runs N methods x K option sets
   on one circuit builds its MNA matrices once per worker instead of N*K
   times.  (Device evaluation is stateless, so reuse cannot change
-  results; the serial-equals-parallel test locks this in.)
+  results; the serial-equals-parallel test locks this in.)  The DC
+  operating point is cached per ``(circuit, dc-options, gshunt, memory
+  budget)`` the same way -- the DC system does not depend on the
+  integration method, so method sweeps on one circuit pay for Newton
+  once; the original solve's LU counters are replayed into every reusing
+  run so the reported statistics match an uncached execution.
 * **Failure capture** -- a scenario that raises, diverges or exceeds its
   timeout produces a failure outcome with the traceback attached; it never
   takes down the campaign.
@@ -28,6 +33,7 @@ and the oracle for determinism tests.
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import threading
@@ -50,6 +56,12 @@ _MNA_CACHE: Dict[str, object] = {}
 #: cap on cached assemblies per worker (FIFO eviction); campaigns rarely
 #: touch more than a handful of distinct circuits per worker
 _MNA_CACHE_MAX = 8
+
+#: per-worker cache of DC operating points, keyed by circuit + everything
+#: the DC system depends on (see :func:`_dc_cache_key`); holds
+#: ``(DCResult, LUStats)`` pairs so reusing runs replay the solve's counters
+_DC_CACHE: Dict[Tuple, Tuple[object, object]] = {}
+_DC_CACHE_MAX = 16
 
 
 class _ScenarioTimeout(Exception):
@@ -96,6 +108,16 @@ def _cached_mna(scenario: Scenario) -> Tuple[object, bool]:
     return mna, False
 
 
+def _dc_cache_key(circuit_key: str, options: SimOptions) -> Tuple:
+    """Identity of a DC solve: circuit plus every option the solve reads."""
+    return (
+        circuit_key,
+        json.dumps(options.dc.to_dict(), sort_keys=True, default=repr),
+        float(options.gshunt),
+        options.max_factor_nnz,
+    )
+
+
 def execute_scenario(
     scenario_data: Dict[str, object],
     base_options_data: Optional[Dict[str, object]] = None,
@@ -121,7 +143,16 @@ def execute_scenario(
         outcome.cache_hit = cache_hit
         outcome.structure = mna.structure_stats().as_dict()
         simulator = TransientSimulator(mna, method=scenario.method, options=options)
+        dc_key = _dc_cache_key(scenario.circuit.cache_key(), options)
+        cached_dc = _DC_CACHE.get(dc_key)
+        if cached_dc is not None:
+            simulator.seed_dc(*cached_dc)
+            outcome.dc_cache_hit = True
         result = simulator.run()
+        if cached_dc is None and simulator.dc_result is not None:
+            while len(_DC_CACHE) >= _DC_CACHE_MAX:
+                _DC_CACHE.pop(next(iter(_DC_CACHE)))
+            _DC_CACHE[dc_key] = (simulator.dc_result, simulator.dc_lu_stats)
         outcome.summary = result.summary()
         outcome.status = "ok" if result.stats.completed else "failed"
         if not result.stats.completed:
@@ -209,8 +240,9 @@ def run_campaign(
 
     if not use_pool:
         executed_mode = "serial"
-        # mirror the lifetime of a pool worker's cache: fresh per campaign
+        # mirror the lifetime of a pool worker's caches: fresh per campaign
         _MNA_CACHE.clear()
+        _DC_CACHE.clear()
         for index, payload in enumerate(payloads):
             _deliver(index, execute_scenario(payload, base_data, timeout, sample_points))
     else:

@@ -51,6 +51,8 @@ class ScenarioOutcome:
     worker: Optional[int] = None
     #: whether the worker reused a cached MNA assembly for the circuit
     cache_hit: bool = False
+    #: whether the worker reused a cached DC operating point
+    dc_cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -73,6 +75,7 @@ class ScenarioOutcome:
             "runtime_seconds": self.runtime_seconds,
             "worker": self.worker,
             "cache_hit": self.cache_hit,
+            "dc_cache_hit": self.dc_cache_hit,
         }
 
     @classmethod
@@ -89,6 +92,7 @@ class ScenarioOutcome:
             runtime_seconds=float(data.get("runtime_seconds", 0.0)),
             worker=data.get("worker"),
             cache_hit=bool(data.get("cache_hit", False)),
+            dc_cache_hit=bool(data.get("dc_cache_hit", False)),
         )
 
 

@@ -283,6 +283,34 @@ class MNASystem:
         du = self.input_vector(t1) - self.input_vector(t0)
         return np.asarray(self.B @ du).ravel()
 
+    def source_slope(self, t0: float, t1: float) -> np.ndarray:
+        """Return the Eq. (13) excitation slope ``B du/dt`` for ``[t0, t1]``.
+
+        Piecewise-linear waveforms (PWL, PULSE, DC) contribute their exact
+        analytic segment slope -- a constant, bit-identical value for every
+        step inside one segment, which the ER integrator relies on to
+        reuse its slope Krylov basis across steps.  It is evaluated at the
+        step *midpoint*: the time loop can land ``t0`` one ulp before a
+        breakpoint it has already popped (the step then lies wholly in the
+        next segment), so the left edge is the one point of the step whose
+        segment classification is unreliable; the midpoint is always a
+        half-step away from both boundaries.  Smooth waveforms (SIN, EXP)
+        contribute the secant ``(u(t1) - u(t0)) / (t1 - t0)``, the correct
+        piecewise-linear model of Eq. (13) over a finite step; the two
+        coincide (up to rounding) for PWL inputs because the time loop
+        never steps across a breakpoint by more than rounding.
+        """
+        if self.num_inputs == 0:
+            return np.asarray(self.B @ np.zeros(1)).ravel()
+        h = t1 - t0
+        mid = 0.5 * (t0 + t1)
+        du = np.array([
+            w.slope(mid) if w.is_piecewise_linear
+            else (w.value(t1) - w.value(t0)) / h
+            for w in self._waveforms
+        ])
+        return np.asarray(self.B @ du).ravel()
+
     def breakpoints(self, t_end: float) -> List[float]:
         """Sorted source breakpoints in ``(0, t_end)`` (see Eq. 13 discussion)."""
         pts: set = set()

@@ -32,6 +32,18 @@ class Waveform(ABC):
         eps = 1e-15 + 1e-9 * abs(t)
         return (self.value(t + eps) - self.value(t - eps)) / (2.0 * eps)
 
+    @property
+    def is_piecewise_linear(self) -> bool:
+        """Whether the waveform is exactly linear between its breakpoints.
+
+        When True, :meth:`slope` returns the exact segment slope -- a
+        constant (bit-identical) value for every ``t`` inside one segment
+        -- and the exponential integrators use it directly for the Eq. 13
+        excitation term instead of the rounding-sensitive finite
+        difference ``(u(t+h) - u(t)) / h``.
+        """
+        return False
+
     def breakpoints(self, t_end: float) -> List[float]:
         """Return times in ``[0, t_end]`` where the slope is discontinuous.
 
@@ -56,6 +68,10 @@ class DC(Waveform):
 
     def slope(self, t: float) -> float:  # noqa: ARG002
         return 0.0
+
+    @property
+    def is_piecewise_linear(self) -> bool:
+        return True
 
     def __repr__(self) -> str:
         return f"DC({self._value:g})"
@@ -106,6 +122,10 @@ class PWL(Waveform):
     def breakpoints(self, t_end: float) -> List[float]:
         return [t for t in self._times if 0.0 < t < t_end]
 
+    @property
+    def is_piecewise_linear(self) -> bool:
+        return True
+
     def __repr__(self) -> str:
         return f"PWL({self.points})"
 
@@ -147,8 +167,15 @@ class PULSE(Waveform):
         self.period = float(period)
 
     def _phase(self, t: float) -> float:
-        """Return the time within the current period (after the delay)."""
-        if t <= self.delay:
+        """Return the time within the current period (after the delay).
+
+        Right-continuous at the delay boundary (``t == delay`` maps to
+        phase 0); the value is ``v1`` either way.  Note :meth:`slope`
+        does *not* use the phase: the modulo can round an exact
+        breakpoint time onto the wrong side of a region boundary, so the
+        slope classifies against breakpoint floats directly.
+        """
+        if t < self.delay:
             return -1.0
         return (t - self.delay) % self.period
 
@@ -166,16 +193,46 @@ class PULSE(Waveform):
         return self.v1
 
     def slope(self, t: float) -> float:
-        ph = self._phase(t)
-        if ph < 0.0:
+        if t < self.delay:
             return 0.0
-        if ph < self.rise:
-            return (self.v2 - self.v1) / self.rise
-        if ph < self.rise + self.width:
-            return 0.0
-        if ph < self.rise + self.width + self.fall:
-            return (self.v1 - self.v2) / self.fall
-        return 0.0
+        # Classify against boundary times constructed with exactly the
+        # float expressions breakpoints() uses (base + offset in t-space).
+        # The (t - delay) % period phase can land an ulp on the wrong side
+        # of a region boundary for a t the time loop stepped onto, which
+        # would apply the *previous* segment's slope across the entire
+        # next step; comparing t directly against the breakpoint floats is
+        # exact and right-continuous (a boundary belongs to the segment it
+        # enters).
+        rising = (self.v2 - self.v1) / self.rise
+        falling = (self.v1 - self.v2) / self.fall
+        # offsets summed exactly as in breakpoints() -- a different
+        # association order would round some boundaries to different floats
+        segment_starts = (
+            (0.0, rising),
+            (self.rise, 0.0),
+            (self.rise + self.width, falling),
+            (self.rise + self.width + self.fall, 0.0),
+            (self.period, rising),
+        )
+        k = int((t - self.delay) // self.period)
+        boundaries = []
+        for kk in (k - 1, k, k + 1):
+            if kk < 0:
+                continue
+            base = self.delay + kk * self.period
+            boundaries.extend((base + offset, value)
+                              for offset, value in segment_starts)
+        # Coincident boundary floats happen for degenerate segments (e.g.
+        # zero off-time: fall end == period end): the segment entered
+        # *last* in chronological order must win, which is the later entry
+        # in generation order -- so tie-break on the index, not the value.
+        slope = 0.0
+        for start, _, value in sorted(
+                (start, index, value)
+                for index, (start, value) in enumerate(boundaries)):
+            if start <= t:
+                slope = value
+        return slope
 
     def breakpoints(self, t_end: float) -> List[float]:
         pts: List[float] = []
@@ -199,6 +256,10 @@ class PULSE(Waveform):
             if k > 1_000_000:  # pragma: no cover - defensive bound
                 break
         return sorted(set(pts))
+
+    @property
+    def is_piecewise_linear(self) -> bool:
+        return True
 
     def __repr__(self) -> str:
         return (

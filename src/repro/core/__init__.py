@@ -4,8 +4,10 @@ from repro.core.options import SimOptions, NewtonOptions, DCOptions
 from repro.core.results import SimulationResult, StepRecord, RunStatistics
 from repro.core.rng import as_generator, derive_seed, spawn_seeds
 from repro.core.simulator import TransientSimulator, simulate
+from repro.core.workspace import LinearizationCache
 
 __all__ = [
+    "LinearizationCache",
     "as_generator",
     "derive_seed",
     "spawn_seeds",

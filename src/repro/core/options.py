@@ -166,6 +166,22 @@ class SimOptions:
     #: LU fill-in budget emulating a memory limit (None disables)
     max_factor_nnz: Optional[int] = None
 
+    # -- hot-path caching (repro.core.workspace) ---------------------------------------
+    #: reuse constant linearizations and LU factorizations across steps; on
+    #: linear circuits this is the "factorize once per run" fast path and
+    #: produces bit-identical trajectories (False restores the per-step
+    #: re-assembly/re-factorization behaviour)
+    cache_linearization: bool = True
+    #: SPICE-style bypass threshold for nonlinear circuits: reuse the
+    #: previous factorization while ``max|dA| / max|A|`` of the linearized
+    #: matrix stays below this value (0 disables; >0 trades exactness of
+    #: the Jacobian for skipped factorizations)
+    bypass_tol: float = 0.0
+    #: ER only: reuse the slope (phi_2) Krylov basis across steps inside
+    #: one PWL source segment -- the slope vector is constant there (the
+    #: Eq. 14 remark); requires the linearization cache on a linear circuit
+    reuse_segment_slope: bool = True
+
     # -- output ------------------------------------------------------------------------------
     #: store the full state trajectory (False keeps only observed nodes)
     store_states: bool = True
@@ -193,6 +209,8 @@ class SimOptions:
             raise ValueError("beta must be at least 1")
         if self.krylov_max_dim < 2:
             raise ValueError("krylov_max_dim must be at least 2")
+        if self.bypass_tol < 0.0:
+            raise ValueError("bypass_tol must be non-negative")
         self.newton.validate()
 
     @property

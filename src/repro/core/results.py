@@ -71,6 +71,11 @@ class RunStatistics:
         return self.lu.num_factorizations
 
     @property
+    def num_lu_cache_hits(self) -> int:
+        """Factorizations avoided by the linearization cache (exact + bypass)."""
+        return self.lu.num_cache_hits
+
+    @property
     def peak_factor_nnz(self) -> int:
         """Peak ``nnz(L)+nnz(U)`` seen -- the memory proxy for Table I."""
         return self.lu.peak_factor_nnz
@@ -83,6 +88,7 @@ class RunStatistics:
             "#NRa": round(self.average_newton_iterations, 2),
             "#ma": round(self.average_krylov_dimension, 2),
             "#LU": self.num_lu_factorizations,
+            "#LUhit": self.num_lu_cache_hits,
             "RT(s)": self.runtime_seconds,
             "peak_factor_nnz": self.peak_factor_nnz,
             "completed": self.completed,

@@ -86,6 +86,24 @@ class TransientSimulator:
 
     # -- running ----------------------------------------------------------------------------
 
+    @property
+    def dc_lu_stats(self) -> LUStats:
+        """LU counters of the cached DC solve (empty before the first run)."""
+        return self._dc_lu_stats
+
+    def seed_dc(self, dc_result: DCResult, lu_stats: Optional[LUStats] = None) -> None:
+        """Install an externally computed DC operating point.
+
+        The campaign runner uses this to share one DC solve across every
+        method sweep of the same circuit (the DC system does not depend on
+        the integration method).  ``lu_stats`` should be the counters of
+        the original solve; they are merged into every run that starts
+        from the seeded point, so Table-I statistics stay identical to an
+        uncached run.
+        """
+        self.dc_result = dc_result
+        self._dc_lu_stats = lu_stats if lu_stats is not None else LUStats()
+
     def run_dc(self) -> DCResult:
         """Compute (and cache) the DC operating point used as ``x(0)``."""
         if self.dc_result is None:

@@ -58,17 +58,21 @@ class BackwardEulerNR(Integrator):
                         h: float):
         """Newton-solve the BE system for the state at ``t_new = t + h``."""
         bu = self.source(t_new)
+        jac_key = ("benr", h)
 
         def residual_jacobian(y):
             ev = self.evaluate(y)
             self.stats.device_evaluations += 1
             residual = (ev.q - q_k) / h + ev.f - bu
-            jacobian = (ev.C / h + ev.G).tocsc()
+            # linear circuits: the C/h + G combination is a constant of h,
+            # assembled (and factorized) once per distinct step size
+            jacobian = self.cache.matrix(jac_key, lambda: (ev.C / h + ev.G).tocsc())
             return residual, jacobian
 
         solver = NewtonSolver(
             self.mna, self.options.newton, lu_stats=self.stats.lu,
             max_factor_nnz=self.options.max_factor_nnz,
+            factorizer=self.cached_factorizer(jac_key),
         )
         return solver.solve(x_guess, residual_jacobian, label="C/h+G")
 

@@ -18,11 +18,11 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.circuit.mna import EvalResult, MNASystem
 from repro.core.options import SimOptions
 from repro.core.results import RunStatistics, SimulationResult, StepRecord
+from repro.core.workspace import LinearizationCache
 from repro.linalg.sparse_lu import FactorizationBudgetExceeded
 
 __all__ = ["IntegratorError", "ConvergenceError", "StepOutcome", "Integrator"]
@@ -55,7 +55,9 @@ class Integrator(ABC):
     def __init__(self, mna: MNASystem, options: Optional[SimOptions] = None):
         self.mna = mna
         self.options = options if options is not None else SimOptions()
-        self._identity = sp.identity(mna.n, format="csc")
+        #: cross-step linearization/LU cache (the linear fast path); all
+        #: per-step factorizations of the integrators route through it
+        self.cache = LinearizationCache(mna, self.options)
         #: statistics accumulator; replaced by the result's accumulator in run()
         self.stats = RunStatistics(method=self.name)
 
@@ -67,21 +69,26 @@ class Integrator(ABC):
         A uniform shunt conductance ``gshunt`` to ground keeps ``G``
         non-singular on circuits with floating nodes; it is added
         consistently to both ``f(x)`` and ``G(x)`` so Jacobians stay exact.
+        On linear circuits the cache serves the constant matrices without
+        re-assembling them (bit-identical to the direct evaluation).
         """
-        ev = self.mna.evaluate(x)
-        gshunt = self.options.gshunt
-        if gshunt:
-            ev = EvalResult(
-                C=ev.C,
-                G=(ev.G + gshunt * self._identity).tocsc(),
-                f=ev.f + gshunt * x,
-                q=ev.q,
-            )
-        return ev
+        return self.cache.evaluate(x)
 
     def source(self, t: float) -> np.ndarray:
         """RHS excitation ``B u(t)``."""
         return self.mna.source_vector(t)
+
+    def cached_factorizer(self, jac_key):
+        """Return a ``(jacobian, label) -> SparseLU`` closure for NewtonSolver
+        that routes the Jacobian factorization through the linearization
+        cache under ``jac_key`` (shared by the implicit methods, whose
+        ``a C/h + b G`` Jacobians are constants of the key on linear
+        circuits)."""
+        def factorizer(jacobian, label):
+            return self.cache.lu(jac_key, jacobian, stats=self.stats.lu,
+                                 max_factor_nnz=self.options.max_factor_nnz,
+                                 label=label)
+        return factorizer
 
     def weighted_norm(self, delta: np.ndarray, reference: np.ndarray,
                       abstol: float, reltol: float) -> float:

@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.core.results import StepRecord
 from repro.integrators.base import Integrator, IntegratorError, StepOutcome
-from repro.linalg.sparse_lu import factorize
 
 __all__ = ["ForwardEuler"]
 
@@ -34,8 +33,8 @@ class ForwardEuler(Integrator):
         ev = self.evaluate(x)
         self.stats.device_evaluations += 1
         try:
-            lu_C = factorize(
-                ev.C, stats=self.stats.lu,
+            lu_C = self.cache.lu(
+                ("C",), ev.C, stats=self.stats.lu,
                 max_factor_nnz=self.options.max_factor_nnz, label="C",
             )
         except np.linalg.LinAlgError as exc:

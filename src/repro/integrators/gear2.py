@@ -61,17 +61,19 @@ class Gear2NR(Integrator):
             a1 = -(1.0 + rho)
             a2 = rho * rho / (1.0 + rho)
         history = (a1 * q_k + a2 * q_prev) / h
+        jac_key = ("gear2", h, a0)
 
         def residual_jacobian(y):
             ev = self.evaluate(y)
             self.stats.device_evaluations += 1
             residual = a0 * ev.q / h + history + ev.f - bu_new
-            jacobian = (a0 * ev.C / h + ev.G).tocsc()
+            jacobian = self.cache.matrix(jac_key, lambda: (a0 * ev.C / h + ev.G).tocsc())
             return residual, jacobian
 
         solver = NewtonSolver(
             self.mna, self.options.newton, lu_stats=self.stats.lu,
             max_factor_nnz=self.options.max_factor_nnz,
+            factorizer=self.cached_factorizer(jac_key),
         )
         return solver.solve(x_guess, residual_jacobian, label="a0*C/h+G")
 

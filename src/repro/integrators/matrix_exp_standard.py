@@ -28,9 +28,9 @@ import numpy as np
 from repro.core.results import StepRecord
 from repro.integrators.base import ConvergenceError, Integrator, StepOutcome
 from repro.linalg.arnoldi import ArnoldiBreakdown, ArnoldiProcess
-from repro.linalg.phi import phi_times_vector
+from repro.linalg.phi import expm_dense, phi_times_vector
 from repro.linalg.regularization import epsilon_regularize
-from repro.linalg.sparse_lu import SparseLU, factorize
+from repro.linalg.sparse_lu import SparseLU
 
 __all__ = ["StandardKrylovExponential"]
 
@@ -67,8 +67,6 @@ class _StdKrylovPhi:
             except RuntimeError:
                 return False
             m = process.m
-            from repro.linalg.phi import expm_dense
-
             y = expm_dense(h * process.hessenberg(m))[:, 0]
             err = self.beta * abs(process.subdiagonal(m)) * abs(h) * abs(y[m - 1])
             if err <= tol:
@@ -108,10 +106,14 @@ class StandardKrylovExponential(Integrator):
         # non-normal transient hump.  The price is a visible perturbation of
         # the fast dynamics -- exactly the accuracy/robustness trade-off of
         # the regularization step the invert Krylov method removes (Sec. IV).
-        eps = 1e-2 * float(np.abs(ev.C.data).max()) if ev.C.nnz else 1e-18
-        C_reg = epsilon_regularize(ev.C, epsilon=eps)
-        lu_C = factorize(C_reg, stats=self.stats.lu,
-                         max_factor_nnz=opts.max_factor_nnz, label="C (regularized)")
+        def build_c_reg():
+            eps = 1e-2 * float(np.abs(ev.C.data).max()) if ev.C.nnz else 1e-18
+            return epsilon_regularize(ev.C, epsilon=eps)
+
+        C_reg = self.cache.matrix(("C_reg",), build_c_reg)
+        lu_C = self.cache.lu(("C_reg",), C_reg, stats=self.stats.lu,
+                             max_factor_nnz=opts.max_factor_nnz,
+                             label="C (regularized)")
 
         g_k = lu_C.solve(self.source(t) - f_k)
         slope = self.mna.source_difference(t, t + h) / h

@@ -21,12 +21,16 @@ import scipy.sparse as sp
 
 from repro.circuit.mna import MNASystem
 from repro.core.options import NewtonOptions
-from repro.linalg.sparse_lu import LUStats, factorize
+from repro.linalg.sparse_lu import LUStats, SparseLU, factorize
 
 __all__ = ["NewtonResult", "NewtonSolver"]
 
 #: callback type: ``x -> (residual T(x), Jacobian dT/dx)``
 ResidualJacobian = Callable[[np.ndarray], Tuple[np.ndarray, sp.spmatrix]]
+
+#: callback type: ``(jacobian, label) -> SparseLU`` -- lets integrators route
+#: factorizations through their :class:`repro.core.workspace.LinearizationCache`
+Factorizer = Callable[[sp.spmatrix, str], "SparseLU"]
 
 
 @dataclass
@@ -49,11 +53,15 @@ class NewtonSolver:
         options: Optional[NewtonOptions] = None,
         lu_stats: Optional[LUStats] = None,
         max_factor_nnz: Optional[int] = None,
+        factorizer: Optional[Factorizer] = None,
     ):
         self.mna = mna
         self.options = options if options is not None else NewtonOptions()
         self.lu_stats = lu_stats
         self.max_factor_nnz = max_factor_nnz
+        #: optional cache-aware factorization routine (defaults to a plain
+        #: instrumented :func:`repro.linalg.sparse_lu.factorize`)
+        self.factorizer = factorizer
 
     # -- device limiting ----------------------------------------------------------------
 
@@ -96,10 +104,13 @@ class NewtonSolver:
             if residual_norm <= opts.residual_tol:
                 return NewtonResult(x, True, iteration, residual_norm, 0.0)
 
-            lu = factorize(
-                jacobian.tocsc(), stats=self.lu_stats,
-                max_factor_nnz=self.max_factor_nnz, label=label,
-            )
+            if self.factorizer is not None:
+                lu = self.factorizer(jacobian.tocsc(), label)
+            else:
+                lu = factorize(
+                    jacobian.tocsc(), stats=self.lu_stats,
+                    max_factor_nnz=self.max_factor_nnz, label=label,
+                )
             dx = lu.solve(-residual)
             if not np.all(np.isfinite(dx)):
                 return NewtonResult(x, False, iteration, residual_norm, np.inf)

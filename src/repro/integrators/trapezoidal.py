@@ -47,17 +47,19 @@ class TrapezoidalNR(Integrator):
     def _solve_implicit(self, x_guess, q_k, f_k, bu_k, t_new, h):
         bu_new = self.source(t_new)
         rhs_const = 0.5 * (bu_new + bu_k) - 0.5 * f_k
+        jac_key = ("tr", h)
 
         def residual_jacobian(y):
             ev = self.evaluate(y)
             self.stats.device_evaluations += 1
             residual = (ev.q - q_k) / h + 0.5 * ev.f - rhs_const
-            jacobian = (ev.C / h + 0.5 * ev.G).tocsc()
+            jacobian = self.cache.matrix(jac_key, lambda: (ev.C / h + 0.5 * ev.G).tocsc())
             return residual, jacobian
 
         solver = NewtonSolver(
             self.mna, self.options.newton, lu_stats=self.stats.lu,
             max_factor_nnz=self.options.max_factor_nnz,
+            factorizer=self.cached_factorizer(jac_key),
         )
         return solver.solve(x_guess, residual_jacobian, label="C/h+G/2")
 

@@ -33,6 +33,7 @@ rejects a step and shrinks ``h`` it simply re-evaluates
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -49,6 +50,26 @@ __all__ = ["IKSBasis", "InvertKrylovMEVP"]
 class IKSBasis:
     """An invert-Krylov basis built for one vector ``v`` (reusable across ``h``)."""
 
+    #: bound on the ``(m, h)``-keyed propagator cache (LRU eviction): long
+    #: adaptive runs visit many rejected step sizes -- and a basis reused
+    #: across the steps of a PWL segment sees one ``h`` per step -- so the
+    #: cache must not grow with simulation length
+    PROPAGATOR_CACHE_MAX = 128
+
+    @staticmethod
+    def _is_check_dim(m: int) -> bool:
+        """Whether the Eq. 22 residual is evaluated at dimension ``m``.
+
+        Every residual check costs a small dense exponential (O(m^3)), so
+        checking at every extension makes the convergence sweep O(m^4);
+        past the first few dimensions the check runs at every other one
+        (the basis may overshoot the minimal dimension by one -- slightly
+        *more* accurate, never less).  Both the fresh sweep and the
+        cross-step basis reuse use this same schedule, keeping reuse
+        bit-identical to rebuilding.
+        """
+        return m <= 4 or m % 2 == 1
+
     def __init__(self, process: ArnoldiProcess, C: sp.spmatrix, G: sp.spmatrix,
                  stats: Optional[MEVPStats] = None):
         self._process = process
@@ -58,9 +79,11 @@ class IKSBasis:
         self.beta = process.beta
         #: dimension at which the last convergence check succeeded
         self.converged_dimension: Optional[int] = None
-        # caches keyed by the current dimension / (dimension, h)
+        # caches keyed by the current dimension / (dimension, h); the
+        # dimension-keyed caches are naturally bounded by max_dim, the
+        # (dimension, h) cache by PROPAGATOR_CACHE_MAX
         self._hinv_cache: Dict[int, Optional[np.ndarray]] = {}
-        self._propagator_cache: Dict[Tuple[int, float], Tuple[np.ndarray, float]] = {}
+        self._propagator_cache: "OrderedDict[Tuple[int, float], Tuple[np.ndarray, float]]" = OrderedDict()
         self._gv_norm_cache: Dict[int, float] = {}
 
     # -- small dense helpers ----------------------------------------------------------
@@ -80,10 +103,16 @@ class IKSBasis:
             return self._hinv_cache[m]
         Hm = self._process.hessenberg(m)
         try:
-            cond = np.linalg.cond(Hm)
+            hinv: Optional[np.ndarray] = np.linalg.inv(Hm)
         except np.linalg.LinAlgError:
-            cond = np.inf
-        hinv = np.linalg.inv(Hm) if np.isfinite(cond) and cond < 1e12 else None
+            hinv = None
+        if hinv is not None:
+            # 1-norm condition estimate: O(m^2) instead of the SVD behind
+            # np.linalg.cond, which dominated the per-dimension convergence
+            # checks of the hot loop
+            cond = np.linalg.norm(Hm, 1) * np.linalg.norm(hinv, 1)
+            if not np.isfinite(cond) or cond >= 1e12:
+                hinv = None
         self._hinv_cache[m] = hinv
         return hinv
 
@@ -100,8 +129,10 @@ class IKSBasis:
         contribute nothing to the propagated state.
         """
         key = (m, float(h))
-        if key in self._propagator_cache:
-            return self._propagator_cache[key]
+        cached = self._propagator_cache.get(key)
+        if cached is not None:
+            self._propagator_cache.move_to_end(key)
+            return cached
 
         Hm = self._process.hessenberg(m)
         e1 = np.zeros(m)
@@ -142,6 +173,8 @@ class IKSBasis:
                 )
         result = (col, res_scalar)
         self._propagator_cache[key] = result
+        while len(self._propagator_cache) > self.PROPAGATOR_CACHE_MAX:
+            self._propagator_cache.popitem(last=False)
         return result
 
     def _g_vnext_norm(self, m: int) -> float:
@@ -203,6 +236,39 @@ class IKSBasis:
 
     # -- adaptive construction ------------------------------------------------------------------
 
+    def minimal_converged_dimension(self, h: float, tol: float,
+                                    max_dim: Optional[int] = None) -> int:
+        """Smallest dimension whose Eq. 22 residual is below ``tol`` at ``h``.
+
+        Extends the basis when even the current dimension has not
+        converged.  This reproduces exactly the dimension a *fresh*
+        convergence sweep (:meth:`ensure_converged` from an empty basis)
+        would stop at -- the property that makes reusing a basis across
+        steps bit-identical to rebuilding it, provided the start vector is
+        bit-identical (Arnoldi is deterministic).
+        """
+        if self.is_zero:
+            return 0
+        process = self._process
+        max_dim = process.max_dim if max_dim is None else min(int(max_dim), process.max_dim)
+        m = 0
+        while True:
+            m += 1
+            if m > self.dimension:
+                if process.breakdown or self.dimension >= max_dim:
+                    return self.dimension
+                try:
+                    process.extend()
+                    if self._stats is not None:
+                        self._stats.num_operator_applications += 1
+                except ArnoldiBreakdown:
+                    return self.dimension
+            terminal = m >= max_dim or (process.breakdown and m >= self.dimension)
+            if (terminal or self._is_check_dim(m)) and self.residual_norm(h, m) <= tol:
+                return m
+            if terminal:
+                return m
+
     def ensure_converged(self, h: float, tol: float, max_dim: Optional[int] = None) -> bool:
         """Extend the basis until the Eq. 22 residual is below ``tol``.
 
@@ -216,10 +282,12 @@ class IKSBasis:
         max_dim = process.max_dim if max_dim is None else min(int(max_dim), process.max_dim)
         while True:
             m = self.dimension
-            if m >= 1 and self.residual_norm(h, m) <= tol:
+            terminal = m >= max_dim or process.breakdown
+            if (m >= 1 and (terminal or self._is_check_dim(m))
+                    and self.residual_norm(h, m) <= tol):
                 self.converged_dimension = m
                 return True
-            if m >= max_dim or process.breakdown:
+            if terminal:
                 self.converged_dimension = m
                 return process.breakdown
             try:

@@ -41,6 +41,10 @@ class MEVPStats:
     num_operator_applications: int = 0
     num_nonconverged: int = 0
     dimensions: list = field(default_factory=list)
+    #: evaluations served from a basis reused across steps (ER segment-slope
+    #: reuse); these still count as evaluations above -- this counter keeps
+    #: the saved Arnoldi runs visible in the statistics
+    num_basis_reuses: int = 0
 
     @property
     def average_dimension(self) -> float:
@@ -65,6 +69,7 @@ class MEVPStats:
         self.num_operator_applications += other.num_operator_applications
         self.num_nonconverged += other.num_nonconverged
         self.dimensions.extend(other.dimensions)
+        self.num_basis_reuses += other.num_basis_reuses
 
     def as_dict(self) -> dict:
         return {
@@ -73,6 +78,7 @@ class MEVPStats:
             "max_dimension": self.max_dimension,
             "num_operator_applications": self.num_operator_applications,
             "num_nonconverged": self.num_nonconverged,
+            "num_basis_reuses": self.num_basis_reuses,
         }
 
 

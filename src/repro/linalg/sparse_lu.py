@@ -47,7 +47,16 @@ class FactorizationBudgetExceeded(RuntimeError):
 
 @dataclass
 class LUStats:
-    """Counters accumulated across all LU operations of one simulation run."""
+    """Counters accumulated across all LU operations of one simulation run.
+
+    ``num_factorizations`` counts *real* factorizations only.  Reuses of a
+    cached factor (see :mod:`repro.core.workspace`) are tallied separately
+    so the Table-I ``#LU`` column stays an honest measure of the numerical
+    work performed: ``num_reused`` counts exact reuses (the matrix is
+    bit-identical, e.g. the constant ``G`` of a linear circuit) and
+    ``num_bypassed`` counts SPICE-style bypass reuses (the linearization
+    moved, but stayed under the configured threshold).
+    """
 
     num_factorizations: int = 0
     num_solves: int = 0
@@ -55,6 +64,10 @@ class LUStats:
     solve_time: float = 0.0
     #: fill-in nnz(L)+nnz(U) of each factorization, in order
     factor_nnz: List[int] = field(default_factory=list)
+    #: cache hits on an unchanged matrix (no numerical work skipped silently)
+    num_reused: int = 0
+    #: bypass-mode reuses of a slightly stale factorization
+    num_bypassed: int = 0
 
     @property
     def peak_factor_nnz(self) -> int:
@@ -64,6 +77,11 @@ class LUStats:
     def total_factor_nnz(self) -> int:
         return sum(self.factor_nnz)
 
+    @property
+    def num_cache_hits(self) -> int:
+        """Total factorizations avoided through reuse (exact + bypass)."""
+        return self.num_reused + self.num_bypassed
+
     def merge(self, other: "LUStats") -> None:
         """Accumulate counters from another stats object in place."""
         self.num_factorizations += other.num_factorizations
@@ -71,6 +89,8 @@ class LUStats:
         self.factor_time += other.factor_time
         self.solve_time += other.solve_time
         self.factor_nnz.extend(other.factor_nnz)
+        self.num_reused += other.num_reused
+        self.num_bypassed += other.num_bypassed
 
     def as_dict(self) -> dict:
         return {
@@ -80,6 +100,8 @@ class LUStats:
             "solve_time": self.solve_time,
             "peak_factor_nnz": self.peak_factor_nnz,
             "total_factor_nnz": self.total_factor_nnz,
+            "num_reused": self.num_reused,
+            "num_bypassed": self.num_bypassed,
         }
 
 
@@ -101,6 +123,15 @@ class SparseLU:
     @property
     def shape(self) -> tuple:
         return self._lu.shape
+
+    def rebind_stats(self, stats: Optional[LUStats]) -> None:
+        """Attribute future solves to ``stats``.
+
+        A factorization cached across steps (or runs) must charge its
+        triangular solves to the statistics of the run that *uses* it, not
+        the run that created it; the cache layer rebinds on every reuse.
+        """
+        self._stats = stats
 
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` using the stored factors."""

@@ -86,6 +86,78 @@ class TestBreakdown:
             process.extend()
 
 
+def reference_modified_gram_schmidt(apply_A, v0, steps):
+    """Classic per-vector modified Gram-Schmidt Arnoldi (the pre-blocked
+    implementation), kept as the correctness oracle for the BLAS-2 path."""
+    v0 = np.asarray(v0, dtype=float)
+    n = v0.shape[0]
+    beta = np.linalg.norm(v0)
+    V = np.zeros((n, steps + 1))
+    H = np.zeros((steps + 1, steps))
+    V[:, 0] = v0 / beta
+    for j in range(steps):
+        w = np.asarray(apply_A(V[:, j]), dtype=float)
+        for i in range(j + 1):
+            hij = float(np.dot(w, V[:, i]))
+            H[i, j] += hij
+            w -= hij * V[:, i]
+        for i in range(j + 1):  # re-orthogonalization pass
+            corr = float(np.dot(w, V[:, i]))
+            H[i, j] += corr
+            w -= corr * V[:, i]
+        H[j + 1, j] = np.linalg.norm(w)
+        V[:, j + 1] = w / H[j + 1, j]
+    return V[:, :steps], H[:steps, :steps]
+
+
+class TestBlockedGramSchmidt:
+    """The blocked (BLAS-2) CGS2 orthogonalization must match the old
+    modified Gram-Schmidt to rounding -- the satellite micro-test."""
+
+    def stiff_operator(self, n=40, seed=7):
+        # eigenvalues spread over 8 decades: a stiff circuit-like spectrum
+        rng = np.random.default_rng(seed)
+        Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        lam = -np.logspace(0, 8, n)
+        A = Q @ np.diag(lam) @ Q.T
+        return A, (lambda v: A @ v)
+
+    def test_matches_modified_gram_schmidt_to_rounding(self):
+        A, apply_A = self.stiff_operator()
+        v0 = np.random.default_rng(8).standard_normal(40)
+        steps = 15
+        process = ArnoldiProcess(apply_A, v0, max_dim=30)
+        for _ in range(steps):
+            process.extend()
+        V_ref, H_ref = reference_modified_gram_schmidt(apply_A, v0, steps)
+        scale = np.abs(H_ref).max()
+        np.testing.assert_allclose(process.hessenberg(steps), H_ref,
+                                   atol=1e-10 * scale)
+        np.testing.assert_allclose(process.basis(steps), V_ref, atol=1e-10)
+
+    def test_orthogonality_defect_on_stiff_matrix(self):
+        A, apply_A = self.stiff_operator()
+        v0 = np.random.default_rng(9).standard_normal(40)
+        process = ArnoldiProcess(apply_A, v0, max_dim=40)
+        for _ in range(25):
+            process.extend()
+        assert process.orthogonality_defect() <= 1e-10
+
+    def test_storage_growth_preserves_basis(self):
+        """The geometric storage growth must not disturb earlier columns."""
+        A, apply_A = self.stiff_operator(n=60)
+        v0 = np.random.default_rng(10).standard_normal(60)
+        process = ArnoldiProcess(apply_A, v0, max_dim=50)
+        snapshots = {}
+        for _ in range(40):  # crosses the initial 16-column capacity twice
+            m = process.extend()
+            snapshots[m] = process.basis(m).copy()
+        final = process.basis(40)
+        for m, snap in snapshots.items():
+            np.testing.assert_array_equal(final[:, :m], snap)
+        assert process.orthogonality_defect() <= 1e-10
+
+
 class TestLimitsAndValidation:
     def test_dimension_limit_enforced(self):
         _, apply_A = random_operator()

@@ -260,6 +260,36 @@ class TestSerialExecution:
         assert first.deterministic_summary() == second.deterministic_summary()
         assert first.samples == second.samples
 
+    def test_dc_operating_point_shared_across_method_sweep(self):
+        """Method sweeps on one circuit solve DC once per worker: the first
+        scenario computes it, every later one reuses it (the DC system
+        does not depend on the integration method) with identical results."""
+        scenarios = small_scenarios()
+        assert len({s.method for s in scenarios}) > 1
+        campaign = run_campaign(scenarios, base_options=FAST_OPTIONS, mode="serial")
+        hits = [o.dc_cache_hit for o in campaign]
+        assert hits[0] is False
+        assert all(hits[1:]), "method sweep must reuse the cached DC point"
+        # reusing the DC point must not change any scenario's outcome:
+        # rerun the last scenario alone (cold caches) and compare
+        cold = run_campaign([scenarios[-1]], base_options=FAST_OPTIONS,
+                            mode="serial")
+        warm_outcome = campaign.outcomes[-1]
+        cold_outcome = cold.outcomes[0]
+        assert not cold_outcome.dc_cache_hit
+        assert warm_outcome.deterministic_summary() == cold_outcome.deterministic_summary()
+        assert warm_outcome.samples == cold_outcome.samples
+
+    def test_dc_cache_key_separates_dc_relevant_options(self):
+        """Scenarios differing in gshunt must not share a DC point."""
+        base = small_scenarios(methods=("er",), budgets=(1e-3,))[0]
+        shunted = Scenario.from_dict({**base.to_dict(), "name": "shunted"})
+        shunted.options = {**shunted.options, "gshunt": 1e-9}
+        campaign = run_campaign([base, shunted], base_options=FAST_OPTIONS,
+                                mode="serial")
+        assert campaign.outcomes[0].dc_cache_hit is False
+        assert campaign.outcomes[1].dc_cache_hit is False
+
     def test_error_capture(self):
         bad = Scenario(name="bad", circuit=CircuitSpec("rc_ladder", {"num_segments": 3}),
                        method="no_such_method")

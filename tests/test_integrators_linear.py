@@ -102,16 +102,29 @@ class TestStepCounts:
 
     def test_er_one_lu_per_step(self):
         """Algorithm 2: exactly one LU factorization of G per accepted step
-        (the DC solve may add one more) on a linear circuit with no rejections."""
+        (the DC solve may add one more) on a linear circuit with no rejections.
+        The linearization cache is disabled to expose the raw cost model."""
         ckt = rc_step_circuit()
-        result = simulate(ckt, "er", t_stop=3e-9, h_init=2e-11)
+        result = simulate(ckt, "er", t_stop=3e-9, h_init=2e-11,
+                          cache_linearization=False)
         assert result.stats.num_rejections == 0
         extra = result.stats.num_lu_factorizations - result.stats.num_steps
         assert extra in (0, 1)
 
+    def test_er_one_lu_per_run_with_cache(self):
+        """With the linearization cache (the default), a linear run factorizes
+        G exactly once; every further step is a counted cache hit."""
+        ckt = rc_step_circuit()
+        result = simulate(ckt, "er", t_stop=3e-9, h_init=2e-11)
+        assert result.stats.num_rejections == 0
+        # one LU for G plus at most one for the DC operating point
+        assert result.stats.num_lu_factorizations <= 2
+        assert result.stats.lu.num_reused >= result.stats.num_steps - 1
+
     def test_benr_needs_at_least_one_lu_per_newton_iteration(self):
         ckt = rc_step_circuit()
-        result = simulate(ckt, "benr", t_stop=3e-9, h_init=1e-11)
+        result = simulate(ckt, "benr", t_stop=3e-9, h_init=1e-11,
+                          cache_linearization=False)
         assert result.stats.num_lu_factorizations >= result.stats.num_steps
 
 

@@ -124,6 +124,45 @@ class TestPULSE:
         assert pytest.approx(1.6e-9) in bps
         assert pytest.approx(1.8e-9) in bps
 
+    def test_slope_right_continuous_at_every_breakpoint(self):
+        """At a breakpoint the slope must be that of the segment being
+        *entered*: the integrators evaluate the Eq. 13 slope at the left
+        edge of a step that never straddles a breakpoint.  Regression for
+        a one-ulp ``(t - delay) % period`` rounding that classified exact
+        breakpoint times into the previous segment (corrupting an entire
+        ER step with a stale analytic slope)."""
+        waves = [
+            self.make(),
+            # parameters that reproduce the original one-ulp misclassification
+            PULSE(0.0, 1.0, delay=4.898142462128265e-10,
+                  rise=5.311461683267502e-11, fall=5e-11, width=3e-10,
+                  period=5.724743886783296e-10),
+        ]
+        for wave in waves:
+            breakpoints = wave.breakpoints(3e-9)
+            assert breakpoints
+            for bp in breakpoints:
+                # probe a point well inside the entered segment (segments
+                # of these waveforms are all >= 50 ps; the probe is 0.1 ps)
+                entered = wave.slope(bp + 1e-13)
+                assert wave.slope(bp) == entered, (
+                    f"slope at breakpoint {bp!r} is not right-continuous"
+                )
+
+    def test_slope_with_coincident_boundaries(self):
+        """Degenerate segments collapse boundaries onto one float (zero
+        off-time: fall end == period end; zero width: rise end == fall
+        start).  The segment entered last must win the tie."""
+        zero_off = PULSE(v1=1.0, v2=0.0, delay=0.0, rise=0.25, fall=0.25,
+                         width=0.25, period=0.75)
+        assert zero_off.slope(0.75) == pytest.approx(-4.0)   # next period's rise
+        assert zero_off.slope(0.80) == pytest.approx(-4.0)
+        assert zero_off.slope(1.00) == 0.0                   # flat top
+        assert zero_off.slope(1.25) == pytest.approx(4.0)    # fall
+        zero_width = PULSE(0.0, 1.0, delay=0.0, rise=0.25, fall=0.25,
+                           width=0.0, period=1.0)
+        assert zero_width.slope(0.25) == pytest.approx(-4.0)  # straight into fall
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PULSE(0, 1, rise=0.0)

@@ -76,7 +76,7 @@ class TestStats:
         d = stats.as_dict()
         assert set(d) == {
             "num_factorizations", "num_solves", "factor_time", "solve_time",
-            "peak_factor_nnz", "total_factor_nnz",
+            "peak_factor_nnz", "total_factor_nnz", "num_reused", "num_bypassed",
         }
 
     def test_empty_stats(self):

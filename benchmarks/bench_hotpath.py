@@ -213,6 +213,12 @@ def main(argv=None) -> int:
     parser.add_argument("--json", type=Path,
                         default=OUTPUT_DIR / "BENCH_hotpath.json",
                         help="output JSON path")
+    parser.add_argument("--history", type=Path, nargs="?", const=None,
+                        default=False, metavar="PATH",
+                        help="append this run to the perf-trajectory history "
+                             "and fail on a >20%% steps/sec regression "
+                             "against the tracked median (default path: "
+                             "benchmarks/history/hotpath_history.jsonl)")
     args = parser.parse_args(argv)
 
     print(f"hot-path benchmark ({'smoke' if args.smoke else 'full'} sizes, "
@@ -243,6 +249,17 @@ def main(argv=None) -> int:
         targets = "O(1) LU, trajectories <= 1e-12" if args.smoke \
             else "headline >= 3x, O(1) LU, trajectories <= 1e-12"
         print(f"acceptance checks passed ({targets})")
+
+    if args.history is not False:
+        # perf-trajectory gate: check against the tracked median *before*
+        # recording this run, then append it (see repro.verify.perf).
+        # DEFAULT_HISTORY_PATH is checkout-anchored, so this and
+        # `python -m repro.verify --perf-check` share one history
+        # regardless of the invoking CWD.
+        from repro.verify.perf import DEFAULT_HISTORY_PATH, run_gate
+
+        history = args.history if args.history is not None else DEFAULT_HISTORY_PATH
+        return run_gate(args.json, history)
     return 0
 
 

@@ -10,6 +10,7 @@ mapping and the argument why the relative behaviour is preserved.
 """
 
 from repro.benchcircuits.rc_networks import rc_ladder, rc_mesh
+from repro.benchcircuits.rlc_networks import rlc_line, rlc_line_energy
 from repro.benchcircuits.inverter_chain import inverter_chain, stiff_inverter_chain
 from repro.benchcircuits.power_grid import power_grid
 from repro.benchcircuits.coupled_interconnect import coupled_lines, driven_coupled_bus
@@ -31,6 +32,8 @@ __all__ = [
     "build_circuit",
     "rc_ladder",
     "rc_mesh",
+    "rlc_line",
+    "rlc_line_energy",
     "inverter_chain",
     "stiff_inverter_chain",
     "power_grid",

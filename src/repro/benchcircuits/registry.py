@@ -91,9 +91,10 @@ def _register_builtins() -> None:
     from repro.benchcircuits.inverter_chain import inverter_chain, stiff_inverter_chain
     from repro.benchcircuits.power_grid import power_grid
     from repro.benchcircuits.rc_networks import rc_ladder, rc_mesh
+    from repro.benchcircuits.rlc_networks import rlc_line
     from repro.benchcircuits.testcases import TESTCASE_NAMES, make_ckt
 
-    for fn in (rc_ladder, rc_mesh, inverter_chain, stiff_inverter_chain,
+    for fn in (rc_ladder, rc_mesh, rlc_line, inverter_chain, stiff_inverter_chain,
                power_grid, coupled_lines, driven_coupled_bus, freecpu_like_circuit):
         register_circuit_factory(fn.__name__, fn)
 

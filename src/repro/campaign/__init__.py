@@ -30,7 +30,13 @@ Quick start::
     print(render_method_matrix(campaign, reference_method="benr"))
 """
 
-from repro.campaign.scenario import CircuitSpec, Scenario, apply_option_overrides
+from repro.campaign.scenario import (
+    CircuitSpec,
+    Scenario,
+    apply_option_overrides,
+    canonical_scenario_json,
+    scenario_hash,
+)
 from repro.campaign.sweep import (
     corner_sweep,
     grid_sweep,
@@ -48,6 +54,8 @@ __all__ = [
     "CircuitSpec",
     "Scenario",
     "apply_option_overrides",
+    "canonical_scenario_json",
+    "scenario_hash",
     "grid_sweep",
     "corner_sweep",
     "monte_carlo_sweep",

@@ -10,16 +10,27 @@ cross process boundaries and land in campaign report files.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.benchcircuits.registry import build_circuit
 from repro.circuit.netlist import Circuit
 from repro.core.options import SimOptions
 
-__all__ = ["CircuitSpec", "Scenario", "apply_option_overrides"]
+__all__ = [
+    "CircuitSpec",
+    "Scenario",
+    "apply_option_overrides",
+    "canonical_scenario_json",
+    "scenario_hash",
+]
+
+#: bumped whenever the canonical serialization (and therefore every stored
+#: scenario hash) changes meaning; baked into :func:`scenario_hash`
+SCENARIO_HASH_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -102,6 +113,37 @@ def apply_option_overrides_nested(obj, overrides: Dict[str, object]):
     return replace(obj, **flat)
 
 
+def canonical_scenario_json(data: Dict[str, object],
+                            exclude: Tuple[str, ...] = ("name", "tags")) -> str:
+    """Serialize a scenario dict into its canonical (hashable) JSON form.
+
+    Keys are sorted recursively and non-JSON values fall back to ``repr``,
+    so the text depends only on the scenario's *content*, never on dict
+    insertion order.  By default the ``name`` and ``tags`` fields are
+    dropped: they are presentation metadata and must not shift a
+    scenario's identity (renaming a sweep or relabelling its coordinates
+    would otherwise orphan every stored golden trajectory).
+    :meth:`Scenario.variant_key` uses the same serialization with a
+    different exclusion set, so the two identities can never drift apart.
+    """
+    payload = {k: v for k, v in data.items() if k not in exclude}
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def scenario_hash(scenario: Union["Scenario", Dict[str, object]]) -> str:
+    """Stable content hash of a scenario (sha256 hex, version-prefixed input).
+
+    Two scenarios hash equal iff they simulate the same circuit with the
+    same method, options, seed and observation set; see
+    :func:`canonical_scenario_json` for what is deliberately excluded.
+    The golden-trajectory store of :mod:`repro.verify` keys its files by
+    this hash.
+    """
+    data = scenario.to_dict() if isinstance(scenario, Scenario) else dict(scenario)
+    text = f"v{SCENARIO_HASH_VERSION}:{canonical_scenario_json(data)}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class Scenario:
     """One fully specified simulation run.
@@ -154,10 +196,11 @@ class Scenario:
         pairs the aggregator compares when computing speedups and errors
         against a reference method.
         """
-        payload = self.to_dict()
-        payload.pop("name", None)
-        payload.pop("method", None)
-        return json.dumps(payload, sort_keys=True, default=repr)
+        return canonical_scenario_json(self.to_dict(), exclude=("name", "method"))
+
+    def content_hash(self) -> str:
+        """Stable identity of the scenario's content (see :func:`scenario_hash`)."""
+        return scenario_hash(self)
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {

@@ -70,6 +70,31 @@ class IKSBasis:
         """
         return m <= 4 or m % 2 == 1
 
+    def _trustworthy_dim(self, m: int, h: float, terminal: bool) -> bool:
+        """Whether a small Eq. 22 residual at dimension ``m`` may be trusted.
+
+        At ``m = 1`` the residual can be *falsely* zero: the projected
+        Hessenberg is the scalar Rayleigh quotient ``v^T J^{-1} v``, and
+        when the start vector mixes algebraic (C-null) with dynamic
+        content the quotient can land near ``0``, so the shared factor
+        ``e^{h H_1^{-1}} e_1 = e^{h / h_11} -> 0`` drives *both* the
+        approximation and its residual to zero -- the sweep would accept
+        ``e^{hJ} v ~ 0`` for a vector that is nowhere near algebraic
+        (observed on series-RLC ladders, where ``G^{-1}`` shorts the
+        inductor chain and the step vectors mix both kinds of modes).
+        A dimension-1 verdict is therefore only trusted while the scalar
+        exponent stays moderate (``|h / h_11| <= 50``) -- the regime of
+        the legitimate one-mode convergences the hot path relies on.
+        From ``m >= 2`` the subdiagonal growth restores an honest
+        residual; a *genuinely* algebraic vector instead breaks the
+        Arnoldi process down at dimension 1 (``J^{-1} v = 0``), which is
+        the ``terminal`` escape hatch.
+        """
+        if m >= 2 or terminal:
+            return True
+        h11 = float(self._process.hessenberg(1)[0, 0])
+        return h11 != 0.0 and abs(h / h11) <= 50.0
+
     def __init__(self, process: ArnoldiProcess, C: sp.spmatrix, G: sp.spmatrix,
                  stats: Optional[MEVPStats] = None):
         self._process = process
@@ -264,7 +289,9 @@ class IKSBasis:
                 except ArnoldiBreakdown:
                     return self.dimension
             terminal = m >= max_dim or (process.breakdown and m >= self.dimension)
-            if (terminal or self._is_check_dim(m)) and self.residual_norm(h, m) <= tol:
+            if (self._trustworthy_dim(m, h, terminal)
+                    and (terminal or self._is_check_dim(m))
+                    and self.residual_norm(h, m) <= tol):
                 return m
             if terminal:
                 return m
@@ -283,7 +310,8 @@ class IKSBasis:
         while True:
             m = self.dimension
             terminal = m >= max_dim or process.breakdown
-            if (m >= 1 and (terminal or self._is_check_dim(m))
+            if (m >= 1 and self._trustworthy_dim(m, h, terminal)
+                    and (terminal or self._is_check_dim(m))
                     and self.residual_norm(h, m) <= tol):
                 self.converged_dimension = m
                 return True

@@ -12,6 +12,11 @@ from repro.reporting.figures import (
     Figure2Report,
     figure2_accuracy_report,
 )
+from repro.reporting.verify_tables import (
+    render_verify_report,
+    render_verify_summary,
+    verify_rows,
+)
 
 __all__ = [
     "format_table",
@@ -24,4 +29,7 @@ __all__ = [
     "figure1_nnz_report",
     "Figure2Report",
     "figure2_accuracy_report",
+    "verify_rows",
+    "render_verify_report",
+    "render_verify_summary",
 ]

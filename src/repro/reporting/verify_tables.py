@@ -1,0 +1,49 @@
+"""Rendering of verification-matrix reports.
+
+One aligned plain-text table over the :class:`~repro.verify.matrix.VerifyReport`
+check rows, grouped by check kind, plus a compact per-kind summary line
+-- the artifact the CI verify job prints and archives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.reporting.tables import format_table
+
+__all__ = ["verify_rows", "render_verify_report", "render_verify_summary"]
+
+#: column order of the verification table
+VERIFY_COLUMNS = ("kind", "subject", "method", "max_err", "bound", "status", "detail")
+
+
+def verify_rows(report, kinds: Optional[Sequence[str]] = None) -> List[List[object]]:
+    """Flatten the report's checks into table rows (optionally by kind)."""
+    rows = []
+    for check in report.checks:
+        if kinds is not None and check.kind not in kinds:
+            continue
+        rows.append([
+            check.kind, check.subject, check.method,
+            check.max_err, check.bound, check.status, check.detail,
+        ])
+    return rows
+
+
+def render_verify_report(report, only_violations: bool = False) -> str:
+    """Render the full check table (or just the violations)."""
+    rows = verify_rows(report)
+    if only_violations:
+        rows = [row for row in rows if row[5] != "ok"]
+    if not rows:
+        return "(no verification checks)"
+    return format_table(list(VERIFY_COLUMNS), rows)
+
+
+def render_verify_summary(report) -> str:
+    """One line per check kind: ``oracle: 42 ok`` / ``cross: 3/120 failed``."""
+    parts = []
+    for kind, (total, bad) in sorted(report.counts().items()):
+        parts.append(f"{kind}: {bad}/{total} failed" if bad
+                     else f"{kind}: {total} ok")
+    return "; ".join(parts) if parts else "(no checks)"

@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m repro.verify``.
+
+Two subcommands, selectable by flag:
+
+``--matrix``
+    Run the differential verification matrix (every registered
+    integrator x circuit family x source type), print the report table
+    and exit nonzero on any oracle/golden/invariant violation.  With
+    ``--regenerate`` the golden store is rewritten from this run
+    (refusing to widen tolerance bands unless ``--allow-widen``).
+
+``--perf-check``
+    Gate a ``BENCH_hotpath.json`` payload against the tracked steps/sec
+    history (median of the same machine's previous runs), then append
+    the run to the history.  Exits nonzero on a >threshold regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.verify.matrix import (
+    DEFAULT_GOLDEN_ROOT,
+    DEFAULT_GOLDEN_TOLERANCE,
+    run_matrix,
+)
+from repro.verify.perf import (
+    DEFAULT_HISTORY_PATH,
+    DEFAULT_MIN_HISTORY,
+    DEFAULT_THRESHOLD,
+    run_gate,
+)
+
+
+def _run_matrix(args: argparse.Namespace) -> int:
+    from repro.reporting.verify_tables import (
+        render_verify_report,
+        render_verify_summary,
+    )
+
+    report = run_matrix(
+        smoke=args.smoke,
+        mode=args.mode,
+        workers=args.workers,
+        golden_root=None if args.no_goldens else args.goldens,
+        regenerate=args.regenerate,
+        allow_widen=args.allow_widen,
+        golden_tolerance=args.golden_tolerance,
+    )
+    print(render_verify_report(report))
+    if args.json:
+        report.save(args.json)
+        print(f"wrote {args.json}")
+    print(f"verification matrix ({report.metadata['num_scenarios']} scenarios) "
+          f"-- {render_verify_summary(report)}")
+    if not report.ok:
+        for check in report.violations:
+            print(f"VIOLATION {check.kind} {check.subject} [{check.method}]: "
+                  f"{check.detail or check.max_err}", file=sys.stderr)
+        return 1
+    print("0 violations")
+    return 0
+
+
+def _run_perf_check(args: argparse.Namespace) -> int:
+    input_path = Path(args.input)
+    if not input_path.exists():
+        print(f"perf-check: payload {input_path} not found", file=sys.stderr)
+        return 2
+    return run_gate(
+        input_path, args.history, threshold=args.threshold,
+        min_history=args.min_history, record=not args.no_record,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=__doc__.splitlines()[0],
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument("--matrix", action="store_true",
+                        help="run the differential verification matrix")
+    action.add_argument("--perf-check", action="store_true",
+                        help="gate a BENCH_hotpath.json against the perf history")
+
+    matrix = parser.add_argument_group("matrix options")
+    matrix.add_argument("--smoke", action="store_true",
+                        help="small circuit sizes / short horizons (CI push job)")
+    matrix.add_argument("--mode", choices=("auto", "serial", "process"),
+                        default="auto", help="campaign execution mode")
+    matrix.add_argument("--workers", type=int, default=None,
+                        help="campaign pool size (default: one per core)")
+    matrix.add_argument("--goldens", type=Path, default=DEFAULT_GOLDEN_ROOT,
+                        help="golden-trajectory store root")
+    matrix.add_argument("--no-goldens", action="store_true",
+                        help="skip the golden checks entirely")
+    matrix.add_argument("--regenerate", action="store_true",
+                        help="rewrite the golden store from this run")
+    matrix.add_argument("--allow-widen", action="store_true",
+                        help="allow --regenerate to widen tolerance bands")
+    matrix.add_argument("--golden-tolerance", type=float,
+                        default=DEFAULT_GOLDEN_TOLERANCE,
+                        help="tolerance band written by --regenerate")
+    matrix.add_argument("--json", type=Path, default=None,
+                        help="also write the report as JSON")
+
+    perf = parser.add_argument_group("perf-check options")
+    perf.add_argument("--input", type=Path,
+                      default=Path("benchmarks/output/BENCH_hotpath.json"),
+                      help="benchmark payload to gate")
+    perf.add_argument("--history", type=Path, default=DEFAULT_HISTORY_PATH,
+                      help="JSONL perf history file")
+    perf.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                      help="fail below (1 - threshold) * tracked median")
+    perf.add_argument("--min-history", type=int, default=DEFAULT_MIN_HISTORY,
+                      help="runs required before the gate engages")
+    perf.add_argument("--no-record", action="store_true",
+                      help="check only; do not append this run to the history")
+
+    args = parser.parse_args(argv)
+    if args.matrix:
+        return _run_matrix(args)
+    return _run_perf_check(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,186 @@
+"""Circuit factories owned by the verification subsystem.
+
+Two kinds of factories live here, both registered in the global circuit
+registry so campaign workers can rebuild them by name (scenarios carry
+``module="repro.verify.circuits"`` and trigger this import):
+
+* tiny **oracle circuits** whose transient response has a closed form
+  (first-order RC/RL, a series RLC, a two-source superposition node, and
+  a regular-capacitance RC pair for the methods that need a non-singular
+  ``C``);
+* the **driven-family wrapper** :func:`driven_family`, which instantiates
+  a benchcircuits family with a drive waveform selected *by name* -- the
+  scenario parameters stay plain JSON builtins, so scenario hashes (and
+  therefore golden-trajectory keys) are stable and portable.
+
+Every factory takes only JSON-serializable keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.benchcircuits.registry import build_circuit, register_circuit_factory
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import PULSE, PWL, SIN, Waveform
+
+__all__ = [
+    "make_drive",
+    "verify_rc",
+    "verify_rl",
+    "verify_rlc",
+    "verify_superposition",
+    "verify_regular_rc",
+    "driven_family",
+    "SOURCE_NAMES",
+    "FAMILY_OBSERVE_NODES",
+]
+
+#: source types the differential matrix sweeps (ramp/pulse are exactly
+#: piecewise linear; sin exercises the smooth-input approximation path)
+SOURCE_NAMES = ("ramp", "pulse", "sin")
+
+#: designated observation node of each driven family, as a format string
+#: over the family's size parameters
+FAMILY_OBSERVE_NODES: Dict[str, str] = {
+    "rc_ladder": "n{num_segments}",
+    "rc_mesh": "n{last_row}_{last_col}",
+    "coupled_lines": "l1_s{last_seg}",
+    "rlc_line": "n{num_segments}",
+    "power_grid": "g{mid_row}_{mid_col}",
+}
+
+
+def make_drive(source: str, t_stop: float, amplitude: float = 1.0) -> Waveform:
+    """Build the named drive waveform scaled to the simulation horizon.
+
+    ``ramp`` rises linearly over the first 40% of the horizon (every step
+    carries a nonzero Eq. 13 slope), ``pulse`` is a PULSE with 8% edges
+    and a 40% plateau, ``sin`` is one full period across the horizon.
+    """
+    key = source.strip().lower()
+    if key == "step":
+        # near-ideal step: full swing over 2% of the horizon
+        return PWL([(0.0, 0.0), (0.02 * t_stop, amplitude)])
+    if key == "ramp":
+        return PWL([(0.0, 0.0), (0.4 * t_stop, amplitude)])
+    if key == "pulse":
+        edge = 0.08 * t_stop
+        return PULSE(0.0, amplitude, 0.0, rise=edge, fall=edge,
+                     width=0.4 * t_stop, period=2.0 * t_stop)
+    if key == "sin":
+        return SIN(offset=0.5 * amplitude, amplitude=0.5 * amplitude,
+                   freq=1.0 / t_stop)
+    raise ValueError(f"unknown source type {source!r}; known: {SOURCE_NAMES}")
+
+
+@register_circuit_factory("verify_rc")
+def verify_rc(r: float = 1000.0, c: float = 1e-12, source: str = "ramp",
+              t_stop: float = 3e-9) -> Circuit:
+    """Series R feeding a grounded C -- the canonical first-order oracle."""
+    ckt = Circuit("verify_rc")
+    ckt.add_vsource("Vin", "in", "0", make_drive(source, t_stop))
+    ckt.add_resistor("R1", "in", "out", r)
+    ckt.add_capacitor("C1", "out", "0", c)
+    return ckt
+
+
+@register_circuit_factory("verify_rl")
+def verify_rl(r: float = 100.0, l: float = 10e-9, source: str = "ramp",
+              t_stop: float = 3e-9) -> Circuit:
+    """Series R feeding a grounded L; the inductor current is first-order."""
+    ckt = Circuit("verify_rl")
+    ckt.add_vsource("Vin", "in", "0", make_drive(source, t_stop))
+    ckt.add_resistor("R1", "in", "a", r)
+    ckt.add_inductor("L1", "a", "0", l)
+    return ckt
+
+
+@register_circuit_factory("verify_rlc")
+def verify_rlc(r: float = 20.0, l: float = 5e-9, c: float = 200e-15,
+               source: str = "ramp", t_stop: float = 3e-9) -> Circuit:
+    """Series RLC with the capacitor voltage as output (underdamped).
+
+    With the defaults ``zeta = (R/2) sqrt(C/L) = 0.063`` -- a strongly
+    ringing damped oscillation around the input level.
+    """
+    ckt = Circuit("verify_rlc")
+    ckt.add_vsource("Vin", "in", "0", make_drive(source, t_stop))
+    ckt.add_resistor("R1", "in", "m", r)
+    ckt.add_inductor("L1", "m", "out", l)
+    ckt.add_capacitor("C1", "out", "0", c)
+    return ckt
+
+
+@register_circuit_factory("verify_superposition")
+def verify_superposition(r: float = 1000.0, c: float = 1e-12,
+                         i_peak: float = 0.5e-3,
+                         t_stop: float = 3e-9) -> Circuit:
+    """One RC node driven by *two* current sources (a ramp and a pulse).
+
+    Linear network: the response is exactly the sum of the single-source
+    responses, each of which has the first-order closed form.
+    """
+    ckt = Circuit("verify_superposition")
+    # current flows from ground into the node, charging the capacitor;
+    # the drives are the standard ramp/pulse shapes scaled to i_peak so
+    # the oracle reference can rebuild them through the same factory
+    ckt.add_isource("I1", "0", "out", make_drive("ramp", t_stop, amplitude=i_peak))
+    ckt.add_isource("I2", "0", "out", make_drive("pulse", t_stop, amplitude=i_peak))
+    ckt.add_resistor("R1", "out", "0", r)
+    ckt.add_capacitor("C1", "out", "0", c)
+    return ckt
+
+
+@register_circuit_factory("verify_regular_rc")
+def verify_regular_rc(r: float = 500.0, c: float = 1e-12, source: str = "ramp",
+                      i_peak: float = 1e-3, t_stop: float = 2e-9) -> Circuit:
+    """Two-node RC with a capacitor on *every* node and a current drive.
+
+    The capacitance matrix is regular (no voltage-source branch rows), so
+    forward Euler and the standard-Krylov exponential integrator -- the
+    registered methods that cannot handle a singular ``C`` -- apply.
+    """
+    ckt = Circuit("verify_regular_rc")
+    ckt.add_isource("I1", "0", "a", make_drive(source, t_stop, amplitude=i_peak))
+    ckt.add_resistor("R1", "a", "b", r)
+    ckt.add_capacitor("Ca", "a", "0", c)
+    ckt.add_resistor("R2", "b", "0", r)
+    ckt.add_capacitor("Cb", "b", "0", c)
+    return ckt
+
+
+#: benchcircuits families the wrapper accepts, with their size parameters
+_DRIVEN_FAMILIES = ("rc_ladder", "rc_mesh", "coupled_lines", "rlc_line")
+
+
+def family_observe_node(family: str, params: Dict[str, object]) -> str:
+    """Resolve the designated observation node of a (family, params) pair."""
+    fmt = FAMILY_OBSERVE_NODES[family]
+    context = dict(params)
+    if "rows" in params:
+        context["last_row"] = int(params["rows"]) - 1
+        context["mid_row"] = int(params["rows"]) // 2
+    if "cols" in params:
+        context["last_col"] = int(params["cols"]) - 1
+        context["mid_col"] = int(params["cols"]) // 2
+    if "segments_per_line" in params:
+        context["last_seg"] = int(params["segments_per_line"]) - 1
+    return fmt.format(**context)
+
+
+@register_circuit_factory("driven_family")
+def driven_family(family: str, source: str = "ramp", t_stop: float = 0.25e-9,
+                  **params) -> Circuit:
+    """Instantiate a benchcircuits family with a named drive waveform.
+
+    ``params`` are forwarded to the family factory; the drive is built
+    from the ``source`` name so the whole parameter set stays JSON-native
+    (stable scenario hashes, portable goldens).
+    """
+    key = family.strip().lower()
+    if key not in _DRIVEN_FAMILIES:
+        raise ValueError(
+            f"driven_family supports {_DRIVEN_FAMILIES}, got {family!r}"
+        )
+    return build_circuit(key, drive=make_drive(source, t_stop), **params)

@@ -1,0 +1,16 @@
+"""Shared pytest configuration: tier markers.
+
+Every test is either ``tier1`` (fast, every push) or ``tier2`` (slow
+end-to-end sweeps, nightly).  Unmarked tests are tier-1 by default, so
+only the slow suites need explicit decoration and the marker expressions
+``-m "not tier2"`` (default via ``pytest.ini``) and
+``-m "tier1 or tier2"`` (nightly) partition the suite exactly.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("tier2") is None:
+            item.add_marker(pytest.mark.tier1)

@@ -1,0 +1,74 @@
+"""Eviction behaviour of the bounded IKSBasis propagator cache.
+
+The ``(m, h)``-keyed propagator cache (LRU, 128 entries) must stay
+bounded under step-size churn -- a long adaptive run visits one ``h`` per
+step -- and evicted entries must recompute to bit-identical values on
+re-access (the propagator is a pure function of the Hessenberg and
+``h``).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.invert_krylov import IKSBasis, InvertKrylovMEVP
+from repro.linalg.sparse_lu import factorize
+
+
+@pytest.fixture()
+def basis():
+    """A converged invert-Krylov basis on a small RC-like system."""
+    rng = np.random.default_rng(42)
+    n = 30
+    # diagonally dominant G (resistive mesh flavour) and diagonal C
+    A = rng.uniform(-1.0, 0.0, size=(n, n))
+    np.fill_diagonal(A, 0.0)
+    G = sp.csc_matrix(A + np.diag(2.0 + np.abs(A).sum(axis=1)))
+    C = sp.diags(rng.uniform(0.5, 2.0, size=n), format="csc")
+    v = rng.standard_normal(n)
+    iks = InvertKrylovMEVP(C, G, factorize(G), max_dim=n)
+    return iks.build(v, h=1e-3, tol=1e-9)
+
+
+class TestPropagatorCacheEviction:
+    def test_cache_stays_bounded_under_h_churn(self, basis):
+        cap = IKSBasis.PROPAGATOR_CACHE_MAX
+        h_values = [1e-3 * (1.0 + 0.01 * k) for k in range(3 * cap)]
+        for h in h_values:
+            basis.mevp(h)
+        assert len(basis._propagator_cache) <= cap
+        # the survivors are exactly the most recent h values
+        surviving = {h for (_, h) in basis._propagator_cache}
+        expected_tail = set(h_values[-len(surviving):])
+        assert surviving == expected_tail
+
+    def test_evicted_entry_recomputes_bit_identically(self, basis):
+        cap = IKSBasis.PROPAGATOR_CACHE_MAX
+        h0 = 1e-3
+        first = basis.mevp(h0).copy()
+        key0 = (basis.dimension, float(h0))
+        assert key0 in basis._propagator_cache
+        # churn far past the cap so h0 is evicted
+        for k in range(cap + 10):
+            basis.mevp(1e-3 * (2.0 + 0.01 * k))
+        assert key0 not in basis._propagator_cache
+        again = basis.mevp(h0)
+        assert np.array_equal(first, again)
+        assert key0 in basis._propagator_cache
+
+    def test_reaccess_refreshes_lru_position(self, basis):
+        cap = IKSBasis.PROPAGATOR_CACHE_MAX
+        h_hot = 1e-3
+        basis.mevp(h_hot)
+        # keep touching h_hot while churning; it must never be evicted
+        for k in range(2 * cap):
+            basis.mevp(1e-3 * (3.0 + 0.01 * k))
+            basis.mevp(h_hot)
+        assert (basis.dimension, float(h_hot)) in basis._propagator_cache
+
+    def test_residual_checks_share_the_bound(self, basis):
+        """residual_norm goes through the same cache and must not grow it."""
+        cap = IKSBasis.PROPAGATOR_CACHE_MAX
+        for k in range(3 * cap):
+            basis.residual_norm(1e-3 * (1.0 + 0.02 * k))
+        assert len(basis._propagator_cache) <= cap

@@ -1,0 +1,162 @@
+"""Edge-case tests for waveform slopes and breakpoints.
+
+These harden the PULSE slope fix of PR 2: the slope must classify times
+against the exact breakpoint floats (not the modulo phase), stay
+right-continuous at breakpoints down to one-ulp landings, and remain
+bit-identical across each segment -- the contract the ER integrator's
+analytic Eq. 13 excitation term is built on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.sources import DC, EXP, PULSE, PWL, SIN
+
+
+def up(x):
+    """One ulp above x."""
+    return np.nextafter(x, math.inf)
+
+
+def down(x):
+    """One ulp below x."""
+    return np.nextafter(x, -math.inf)
+
+
+class TestPulseBreakpointLandings:
+    """Slope right-continuity at one-ulp breakpoint landings."""
+
+    @pytest.fixture()
+    def pulse(self):
+        return PULSE(0.0, 1.0, delay=0.1e-9, rise=20e-12, fall=30e-12,
+                     width=0.4e-9, period=1e-9)
+
+    def test_slope_is_right_continuous_at_every_breakpoint(self, pulse):
+        t_end = 3e-9
+        rising = (pulse.v2 - pulse.v1) / pulse.rise
+        falling = (pulse.v1 - pulse.v2) / pulse.fall
+        for bp in pulse.breakpoints(t_end):
+            at = pulse.slope(bp)
+            after = pulse.slope(up(bp))
+            assert at == after, f"slope not right-continuous at {bp!r}"
+            assert at in (0.0, rising, falling)
+
+    def test_one_ulp_before_breakpoint_keeps_previous_segment_slope(self, pulse):
+        rising = (pulse.v2 - pulse.v1) / pulse.rise
+        rise_end = pulse.delay + pulse.rise
+        assert pulse.slope(down(rise_end)) == rising
+        assert pulse.slope(rise_end) == 0.0
+
+    def test_slope_constant_and_bit_identical_inside_segments(self, pulse):
+        rising = (pulse.v2 - pulse.v1) / pulse.rise
+        t0 = pulse.delay
+        for frac in (1e-6, 0.25, 0.5, 0.99):
+            assert pulse.slope(t0 + frac * pulse.rise) == rising
+
+    def test_value_continuous_across_breakpoints(self, pulse):
+        for bp in pulse.breakpoints(3e-9):
+            assert pulse.value(down(bp)) == pytest.approx(
+                pulse.value(up(bp)), abs=1e-9)
+
+    def test_late_period_landings_match_first_period(self, pulse):
+        """Breakpoint floats of period k must classify like period 0."""
+        for k in (1, 7, 23):
+            base = pulse.delay + k * pulse.period
+            rise_end = base + pulse.rise
+            assert pulse.slope(base) == pulse.slope(pulse.delay)
+            assert pulse.slope(rise_end) == pulse.slope(pulse.delay + pulse.rise)
+            assert pulse.slope(down(rise_end)) == pulse.slope(
+                down(pulse.delay + pulse.rise))
+
+
+class TestDegeneratePulseSegments:
+    def test_zero_width_plateau(self):
+        """width=0: the rise boundary is immediately the fall start."""
+        p = PULSE(0.0, 1.0, delay=0.0, rise=10e-12, fall=10e-12,
+                  width=0.0, period=1e-9)
+        rising = 1.0 / 10e-12
+        falling = -1.0 / 10e-12
+        assert p.slope(down(10e-12)) == rising
+        # the boundary enters the (zero-width) plateau and the fall at
+        # once; chronologically last entered segment wins: the fall
+        assert p.slope(10e-12) == falling
+        assert p.value(10e-12) == pytest.approx(1.0)
+
+    def test_zero_off_time(self):
+        """rise+width+fall == period: fall end coincides with period end."""
+        p = PULSE(0.0, 1.0, delay=0.0, rise=0.25e-9, fall=0.25e-9,
+                  width=0.5e-9, period=1e-9)
+        rising = 1.0 / 0.25e-9
+        # the fall-end/period-end boundary immediately re-enters the rise
+        assert p.slope(1e-9) == rising
+        assert p.value(up(1e-9)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_one_ulp_wide_edges_stay_finite_and_classified(self):
+        """Extremely fast edges: slopes are huge but finite and exact."""
+        rise = 1e-15
+        p = PULSE(0.0, 1.0, delay=0.0, rise=rise, fall=rise,
+                  width=0.4e-9, period=1e-9)
+        assert p.slope(0.0) == 1.0 / rise
+        assert math.isfinite(p.slope(down(rise)))
+        assert p.slope(rise) == 0.0
+        assert p.value(rise) == pytest.approx(1.0)
+
+
+class TestPWLDegenerateSegments:
+    def test_one_ulp_wide_segment(self):
+        """Two points one ulp apart define a legal (huge-slope) segment."""
+        t = 1e-10
+        t2 = up(t)
+        w = PWL([(0.0, 0.0), (t, 0.0), (t2, 1.0), (2e-10, 1.0)])
+        assert w.value(t) == 0.0
+        assert w.value(t2) == 1.0
+        s = w.slope(t)
+        assert math.isfinite(s) and s > 0.0
+        # right-continuity: the slope at t2 belongs to the flat segment
+        assert w.slope(t2) == 0.0
+
+    def test_single_point_pwl_is_constant(self):
+        w = PWL([(1e-10, 0.7)])
+        assert w.value(0.0) == 0.7
+        assert w.value(5e-10) == 0.7
+        assert w.slope(0.0) == 0.0
+        assert w.slope(2e-10) == 0.0
+        # the knot may be reported as a (conservative) breakpoint -- that
+        # only costs a step clip -- but the slope must be continuous there
+        for bp in w.breakpoints(1e-9):
+            assert w.slope(bp) == 0.0
+
+    def test_slope_right_continuous_at_knots(self):
+        w = PWL([(0.0, 0.0), (1e-10, 1.0), (3e-10, -1.0)])
+        assert w.slope(1e-10) == (-1.0 - 1.0) / 2e-10
+        assert w.slope(down(1e-10)) == 1.0 / 1e-10
+        # beyond the last knot the waveform holds its value
+        assert w.slope(3e-10) == 0.0
+
+
+class TestIsPiecewiseLinearOnDegenerateWaveforms:
+    def test_exactly_linear_waveforms_claim_it(self):
+        assert DC(1.0).is_piecewise_linear
+        assert PWL([(0.0, 1.0)]).is_piecewise_linear
+        assert PULSE(0.0, 1.0, 0.0, 1e-15, 1e-15, 0.0, 1e-9).is_piecewise_linear
+
+    def test_smooth_waveforms_do_not(self):
+        assert not SIN(0.0, 1.0, 1e9).is_piecewise_linear
+        assert not EXP(0.0, 1.0).is_piecewise_linear
+
+    def test_pwl_claim_is_honest_on_degenerate_segments(self):
+        """Where is_piecewise_linear is True, the slope must reproduce the
+        value exactly along each segment -- including a zero-length-like
+        (one ulp) segment."""
+        t = 1e-10
+        w = PWL([(0.0, 0.0), (t, 0.5), (up(t), 0.25), (2e-10, 0.25)])
+        for a, b in zip(w.points, w.points[1:]):
+            (t0, v0), (t1, v1) = a, b
+            mid = t0 + 0.5 * (t1 - t0)
+            if mid == t0 or mid >= t1:
+                continue  # one-ulp segment has no interior float
+            expected = v0 + (mid - t0) / (t1 - t0) * (v1 - v0)
+            assert w.value(mid) == pytest.approx(expected, rel=1e-12)
+            assert w.slope(mid) == (v1 - v0) / (t1 - t0)

@@ -1,0 +1,194 @@
+"""Tests of the analytic oracle registry and its closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.sources import PULSE, PWL
+from repro.core.simulator import simulate
+from repro.verify.oracles import (
+    Oracle,
+    all_oracles,
+    first_order_response,
+    get_oracle,
+    oracle_names,
+    pwl_profile,
+    register_oracle,
+    rlc_ramp_response,
+    second_order_pwl_response,
+)
+
+
+class TestFirstOrderResponse:
+    def test_step_response_matches_textbook_formula(self):
+        tau = 1e-9
+        profile = [(0.0, 0.0), (1e-15, 1.0), (5e-9, 1.0)]
+        ts = np.linspace(2e-12, 5e-9, 200)
+        got = first_order_response(ts, profile, tau=tau)
+        # after the (essentially instantaneous) step: 1 - e^{-t/tau}
+        expected = 1.0 - np.exp(-(ts - 1e-15) / tau)
+        assert np.max(np.abs(got - expected)) < 1e-6
+
+    def test_ramp_response_matches_closed_form(self):
+        tau = 0.5e-9
+        t_r = 2e-9
+        profile = [(0.0, 0.0), (t_r, 1.0), (4e-9, 1.0)]
+        ts = np.linspace(0.0, t_r, 100)
+        got = first_order_response(ts, profile, tau=tau)
+        expected = (ts - tau * (1.0 - np.exp(-ts / tau))) / t_r
+        assert np.max(np.abs(got - expected)) < 1e-12
+
+    def test_gain_and_initial_condition(self):
+        profile = [(0.0, 2.0), (1e-9, 2.0)]
+        ts = np.array([0.0, 0.3e-9, 1e-9])
+        # started at equilibrium for a constant input: stays there
+        got = first_order_response(ts, profile, tau=1e-10, gain=3.0)
+        assert np.allclose(got, 6.0)
+        # explicit y0 relaxes toward gain * u
+        got = first_order_response(ts, profile, tau=1e-10, gain=3.0, y0=0.0)
+        assert got[0] == 0.0
+        assert got[-1] == pytest.approx(6.0, abs=1e-3)
+
+    def test_unsorted_evaluation_times(self):
+        tau = 1e-9
+        profile = [(0.0, 0.0), (1e-9, 1.0), (3e-9, 1.0)]
+        ts = np.linspace(0.0, 3e-9, 50)
+        shuffled = ts[::-1].copy()
+        a = first_order_response(ts, profile, tau=tau)
+        b = first_order_response(shuffled, profile, tau=tau)
+        assert np.array_equal(a, b[::-1])
+
+
+class TestSecondOrderResponse:
+    def test_ramp_response_initial_conditions(self):
+        omega0, zeta = 1e10, 0.1
+        t = np.array([0.0, 1e-15, 1e-14])
+        v = rlc_ramp_response(t, omega0, zeta)
+        assert v[0] == 0.0
+        # v(0)=0 and v'(0)=0: quadratically small at early times
+        assert abs(v[2]) < 1e-9
+
+    def test_ramp_response_tracks_input_late(self):
+        omega0, zeta = 1e10, 0.3
+        t = np.array([5e-9])
+        # late: v ~ t - 2 zeta / omega0 (the steady ramp lag)
+        assert rlc_ramp_response(t, omega0, zeta)[0] == pytest.approx(
+            5e-9 - 2.0 * zeta / omega0, rel=1e-6)
+
+    def test_overdamped_is_rejected(self):
+        with pytest.raises(ValueError, match="underdamped"):
+            rlc_ramp_response(np.array([1e-9]), 1e10, 1.5)
+
+    def test_pwl_superposition_against_scipy_ivp(self):
+        scipy_integrate = pytest.importorskip("scipy.integrate")
+        omega0, zeta = 2e10, 0.2
+        drive = PWL([(0.0, 0.0), (0.3e-9, 1.0), (0.8e-9, 0.25), (2e-9, 0.25)])
+        profile = pwl_profile(drive, 2e-9)
+
+        def rhs(t, y):
+            v, w = y
+            return [w, omega0 * omega0 * (drive.value(t) - v)
+                    - 2.0 * zeta * omega0 * w]
+
+        ts = np.linspace(0.0, 2e-9, 120)
+        sol = scipy_integrate.solve_ivp(rhs, (0.0, 2e-9), [0.0, 0.0],
+                                        t_eval=ts, rtol=1e-10, atol=1e-13,
+                                        max_step=1e-11)
+        got = second_order_pwl_response(ts, profile, omega0, zeta)
+        assert np.max(np.abs(got - sol.y[0])) < 1e-6
+
+
+class TestPwlProfile:
+    def test_pulse_flattens_to_knots(self):
+        p = PULSE(0.0, 1.0, 0.0, rise=0.1e-9, fall=0.1e-9, width=0.3e-9,
+                  period=2e-9)
+        profile = pwl_profile(p, 1e-9)
+        times = [t for t, _ in profile]
+        assert times[0] == 0.0 and times[-1] == 1e-9
+        assert 0.1e-9 in times and 0.4e-9 in times and 0.5e-9 in times
+        # linear interpolation of the knots reproduces the waveform
+        for t in np.linspace(0.0, 1e-9, 77):
+            interp = np.interp(t, times, [v for _, v in profile])
+            assert interp == pytest.approx(p.value(t), abs=1e-12)
+
+    def test_rejects_smooth_waveforms(self):
+        from repro.circuit.sources import SIN
+        with pytest.raises(ValueError, match="not piecewise linear"):
+            pwl_profile(SIN(0.0, 1.0, 1e9), 1e-9)
+
+
+class TestOracleRegistry:
+    def test_builtin_coverage(self):
+        names = oracle_names()
+        # RC step+ramp+pulse(+sin), RL, RLC damped oscillation,
+        # superposition and the regular-C self-references
+        for required in ("rc_step", "rc_ramp", "rc_pulse", "rc_sin",
+                         "rl_step", "rlc_step", "rlc_pulse",
+                         "superposition", "regular_rc_ramp"):
+            assert required in names
+        kinds = {o.kind for o in all_oracles()}
+        assert kinds == {"closed-form", "self-reference"}
+
+    def test_duplicate_registration_rejected(self):
+        oracle = get_oracle("rc_step")
+        with pytest.raises(ValueError, match="already registered"):
+            register_oracle(oracle)
+
+    def test_unknown_oracle_lists_known(self):
+        with pytest.raises(KeyError, match="rc_step"):
+            get_oracle("does_not_exist")
+
+    def test_tolerance_band_fallback_and_override(self):
+        rlc = get_oracle("rlc_step")
+        rc = get_oracle("rc_step")
+        assert rlc.tolerance("benr") == 2e-1       # oracle-specific
+        assert rc.tolerance("benr") == 2.5e-2      # registry default
+        with pytest.raises(KeyError):
+            rc.tolerance("no-such-method")
+
+
+class TestOraclesAgainstSimulation:
+    """End-to-end: ER must sit essentially on the closed forms."""
+
+    @pytest.mark.parametrize("name", ["rc_step", "rc_ramp", "rc_pulse",
+                                      "rl_step", "superposition"])
+    def test_er_is_exact_on_pwl_driven_first_order_oracles(self, name):
+        oracle = get_oracle(name)
+        result = simulate(oracle.circuit.build(), "er",
+                          t_stop=oracle.t_stop, h_init=oracle.h_init,
+                          **oracle.options)
+        assert result.stats.completed
+        reference = oracle.reference(result.time_array)
+        err = np.max(np.abs(result.voltage(oracle.node) - reference))
+        assert err < 1e-9
+
+    def test_rlc_damped_oscillation_rings(self):
+        """The RLC oracle waveform must actually oscillate around the
+        input level -- otherwise the damped-oscillation checks are vacuous."""
+        oracle = get_oracle("rlc_step")
+        ts = np.linspace(0.0, oracle.t_stop, 2000)
+        v = oracle.reference(ts)
+        assert np.max(v) > 1.5          # overshoot
+        assert np.min(v[ts > 1e-10]) < 0.7   # undershoot after first peak
+        crossings = np.sum(np.diff(np.sign(v - 1.0)) != 0)
+        assert crossings >= 6
+
+    def test_self_reference_oracle_tracks_methods(self):
+        oracle = get_oracle("regular_rc_ramp")
+        result = simulate(oracle.circuit.build(), "trap",
+                          t_stop=oracle.t_stop, h_init=oracle.h_init)
+        assert result.stats.completed
+        reference = oracle.reference(result.time_array)
+        err = np.max(np.abs(result.voltage(oracle.node) - reference))
+        assert err < oracle.tolerance("trap")
+
+    def test_superposition_equals_sum_of_parts(self):
+        """The registered reference is the sum of single-source closed
+        forms; cross-check it against simulating the two-source circuit."""
+        oracle = get_oracle("superposition")
+        result = simulate(oracle.circuit.build(), "trap",
+                          t_stop=oracle.t_stop, h_init=1e-12)
+        reference = oracle.reference(result.time_array)
+        err = np.max(np.abs(result.voltage(oracle.node) - reference))
+        assert err < 1e-4

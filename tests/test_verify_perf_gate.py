@@ -1,0 +1,158 @@
+"""Perf-trajectory tracker: history recording and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.verify.perf import (
+    check_perf_regression,
+    extract_rates,
+    gate_payload_file,
+    load_history,
+    record_run,
+    tracked_medians,
+)
+
+
+def payload(rate_er=10000.0, rate_benr=4000.0, mode="smoke"):
+    """A minimal BENCH_hotpath.json-shaped payload."""
+    return {
+        "benchmark": "hotpath",
+        "mode": mode,
+        "results": [
+            {"case": "rc_mesh_ramp", "method": "ER",
+             "cached": {"steps_per_second": rate_er},
+             "uncached": {"steps_per_second": rate_er / 3.0}},
+            {"case": "rc_mesh_ramp", "method": "BENR",
+             "cached": {"steps_per_second": rate_benr},
+             "uncached": {"steps_per_second": rate_benr / 1.5}},
+        ],
+    }
+
+
+def seed_history(path, rates, mode="smoke"):
+    for rate in rates:
+        record_run(payload(rate_er=rate, mode=mode), path)
+
+
+class TestExtractAndRecord:
+    def test_extract_rates_reads_cached_mode(self):
+        rates = extract_rates(payload(rate_er=1234.0))
+        assert rates[("rc_mesh_ramp", "er")] == 1234.0
+        assert rates[("rc_mesh_ramp", "benr")] == 4000.0
+
+    def test_record_appends_jsonl(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        entry = record_run(payload(), history)
+        record_run(payload(), history)
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = json.loads(lines[0])
+        assert parsed["mode"] == "smoke"
+        assert parsed["rates"]["rc_mesh_ramp/er"] == 10000.0
+        assert entry["recorded_at"] > 0
+
+    def test_load_history_tolerates_missing_file(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+
+class TestMedians:
+    def test_median_per_mode(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [100.0, 110.0, 90.0])
+        seed_history(history, [999.0], mode="full")
+        medians = tracked_medians(load_history(history), "smoke")
+        assert medians["rc_mesh_ramp/er"] == (100.0, 3)
+        medians_full = tracked_medians(load_history(history), "full")
+        assert medians_full["rc_mesh_ramp/er"] == (999.0, 1)
+
+    def test_window_keeps_recent_runs(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10.0] * 30 + [100.0] * 5)
+        medians = tracked_medians(load_history(history), "smoke", window=5)
+        assert medians["rc_mesh_ramp/er"][0] == 100.0
+
+
+class TestRegressionGate:
+    def test_seeded_regression_fails_the_gate(self, tmp_path):
+        """The acceptance scenario: a >20% steps/sec drop against the
+        tracked median must fail."""
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0, 10200.0, 9800.0])
+        slow = payload(rate_er=7000.0)  # 30% below the 10000 median
+        regressions = check_perf_regression(slow, history)
+        assert len(regressions) == 1
+        regression = regressions[0]
+        assert regression.case == "rc_mesh_ramp" and regression.method == "er"
+        assert "below the tracked median" in regression.describe()
+
+    def test_small_drop_passes(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0, 10200.0, 9800.0])
+        assert check_perf_regression(payload(rate_er=8500.0), history) == []
+
+    def test_improvement_passes(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0, 10200.0, 9800.0])
+        assert check_perf_regression(payload(rate_er=20000.0), history) == []
+
+    def test_gate_waits_for_min_history(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0, 10000.0])  # only two runs on record
+        assert check_perf_regression(payload(rate_er=1000.0), history) == []
+
+    def test_gate_is_mode_scoped(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0] * 3, mode="full")
+        # smoke payload has no smoke history: gate stays silent
+        assert check_perf_regression(payload(rate_er=1000.0), history) == []
+
+    def test_one_slow_run_cannot_lower_the_median_much(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0, 10000.0, 10000.0, 2000.0])
+        regressions = check_perf_regression(payload(rate_er=7000.0), history)
+        assert len(regressions) == 1
+
+
+class TestGatePayloadFile:
+    def test_checks_before_recording(self, tmp_path):
+        """A regressed run must not vote itself into its own baseline."""
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0, 10000.0, 10000.0])
+        slow_file = tmp_path / "BENCH_hotpath.json"
+        slow_file.write_text(json.dumps(payload(rate_er=5000.0)))
+        regressions, entry = gate_payload_file(slow_file, history)
+        assert len(regressions) == 1
+        assert entry is not None
+        # ... but the run IS recorded afterwards (honest history)
+        assert len(load_history(history)) == 4
+
+    def test_no_record_mode(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0] * 3)
+        ok_file = tmp_path / "BENCH_hotpath.json"
+        ok_file.write_text(json.dumps(payload(rate_er=9900.0)))
+        regressions, entry = gate_payload_file(ok_file, history, record=False)
+        assert regressions == [] and entry is None
+        assert len(load_history(history)) == 3
+
+
+class TestCliGate:
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.verify.__main__ import main
+
+        history = tmp_path / "h.jsonl"
+        seed_history(history, [10000.0, 10000.0, 10000.0])
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(payload(rate_er=9500.0)))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload(rate_er=1000.0)))
+
+        assert main(["--perf-check", "--input", str(good),
+                     "--history", str(history)]) == 0
+        assert main(["--perf-check", "--input", str(bad),
+                     "--history", str(history)]) == 1
+        err = capsys.readouterr().err
+        assert "PERF REGRESSION" in err
+        assert main(["--perf-check", "--input", str(tmp_path / "none.json"),
+                     "--history", str(history)]) == 2

@@ -1,26 +1,36 @@
-"""Campaign engine benchmark: serial vs process-pool scenario sweeps.
+"""Campaign engine benchmark: serial vs process-pool execution backends.
 
 A 20-scenario method-shootout campaign (2 circuits x 2 methods x a
-5-point error-budget grid) runs once through the serial runner and once
-through the process pool.  The checks encode the engine's contract:
+5-point error-budget grid) runs once through the ``SerialBackend`` and
+once through the ``ProcessPoolBackend``.  The checks encode the engine's
+contract:
 
 * every scenario completes and the aggregate comparison table renders;
-* serial and parallel execution produce *identical* per-scenario
-  statistics and waveform samples (scheduling independence);
+* serial and pool execution produce *identical* per-scenario
+  statistics and waveform samples (backend independence);
 * with >= 2 cores, the pool beats serial wall-clock by >= 1.5x.
 
-The rendered campaign table lands in ``benchmarks/output/campaign.txt``.
+The rendered campaign table lands in ``benchmarks/output/campaign.txt``
+and a machine-readable summary (wall clocks, speedup, worker count, per-
+method aggregates) in ``benchmarks/output/BENCH_campaign.json`` -- the
+artifact CI uploads alongside the hot-path bench.
 """
 
+import json
 import os
 
 import pytest
 
 from repro import SimOptions
-from repro.campaign import grid_sweep, run_campaign
+from repro.campaign import (
+    ProcessPoolBackend,
+    SerialBackend,
+    grid_sweep,
+    run_campaign,
+)
 from repro.reporting import render_campaign_table, render_method_matrix
 
-from conftest import write_report
+from conftest import OUTPUT_DIR, write_report
 
 #: per-scenario simulation setup; heavy enough that pool startup amortizes
 BASE_OPTIONS = SimOptions(t_stop=0.5e-9, h_init=2e-12, store_states=False)
@@ -56,11 +66,13 @@ def test_campaign_serial(benchmark):
     scenarios = build_scenarios()
 
     def run_serial():
-        return run_campaign(scenarios, base_options=BASE_OPTIONS, mode="serial")
+        return run_campaign(scenarios, base_options=BASE_OPTIONS,
+                            backend=SerialBackend())
 
     campaign = benchmark.pedantic(run_serial, rounds=1, iterations=1)
     _RUNS["serial"] = campaign
     benchmark.extra_info["wall_seconds"] = campaign.metadata["wall_seconds"]
+    assert campaign.metadata["mode"] == "serial"
     assert campaign.num_ok == len(scenarios), [o.error for o in campaign.failures]
 
 
@@ -70,13 +82,15 @@ def test_campaign_parallel(benchmark):
 
     def run_parallel():
         return run_campaign(
-            scenarios, base_options=BASE_OPTIONS, mode="process", workers=workers
+            scenarios, base_options=BASE_OPTIONS,
+            backend=ProcessPoolBackend(workers=workers),
         )
 
     campaign = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
     _RUNS["parallel"] = campaign
     benchmark.extra_info["workers"] = workers
     benchmark.extra_info["wall_seconds"] = campaign.metadata["wall_seconds"]
+    assert campaign.metadata["mode"] == "process"
     assert campaign.num_ok == len(scenarios), [o.error for o in campaign.failures]
 
 
@@ -93,7 +107,7 @@ def test_campaign_report_and_equivalence(benchmark, report_writer):
     report_writer("campaign.txt", table + "\n\n" + matrix)
     assert "SP" in table
 
-    # (2) scheduling independence: identical per-scenario statistics
+    # (2) backend independence: identical per-scenario statistics
     for a, b in zip(serial, parallel):
         assert a.scenario.name == b.scenario.name
         assert a.deterministic_summary() == b.deterministic_summary(), a.scenario.name
@@ -106,6 +120,27 @@ def test_campaign_report_and_equivalence(benchmark, report_writer):
     print(f"\ncampaign wall-clock: serial {serial_wall:.2f}s, "
           f"parallel {parallel_wall:.2f}s ({parallel.metadata['workers']} workers), "
           f"speedup {speedup:.2f}x")
+
+    summary = {
+        "num_scenarios": len(serial),
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "workers": parallel.metadata["workers"],
+        "speedup": speedup,
+        "cpu_count": os.cpu_count(),
+        "aggregates": parallel.aggregates(),
+    }
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "BENCH_campaign.json").write_text(
+        json.dumps(summary, indent=2) + "\n")
+
+    # the speedup bar is a wall-clock assertion: meaningful on a quiet
+    # multi-core dev box, pure noise on shared CI runners (the repo's
+    # perf regressions are gated by verify.perf's tracked-median
+    # approach instead) -- so CI sets the skip knob and keeps the
+    # backend-equivalence checks above as the gate
+    if os.environ.get("REPRO_BENCH_SKIP_SPEEDUP_GATE"):
+        pytest.skip("speedup gate disabled via REPRO_BENCH_SKIP_SPEEDUP_GATE")
     if (os.cpu_count() or 1) >= 2:
         assert speedup >= 1.5, (
             f"expected >= 1.5x speedup on {os.cpu_count()} cores, got {speedup:.2f}x"

@@ -9,6 +9,10 @@ Environment knobs (all optional):
     grows superlinearly) at the cost of longer runs.
 ``REPRO_BENCH_TSTOP``
     Transient horizon in seconds for the Table I runs (default 0.25e-9).
+``REPRO_BENCH_SKIP_SPEEDUP_GATE``
+    When set, ``bench_campaign.py`` skips its >=1.5x parallel-speedup
+    assertion (for noisy shared runners; the equivalence checks still
+    gate).
 
 Rendered reports (Table I, Fig. 1, Fig. 2 and the ablations) are written to
 ``benchmarks/output/`` so they survive pytest's output capture.

@@ -1,17 +1,25 @@
 """Method shootout via the campaign engine.
 
 Sweeps two Table-I analogue circuits under BENR, ER and ER-C across an
-error-budget grid, runs all scenarios through the parallel campaign
-runner and prints the aggregate comparison tables (per-scenario and the
-Table-I-style method matrix with speedups over BENR).
+error-budget grid, runs all scenarios through the campaign engine on a
+selectable execution backend and prints the aggregate comparison tables
+(per-scenario and the Table-I-style method matrix with speedups over
+BENR).
 
 Run with::
 
-    python examples/method_shootout.py            # full demo, all cores
-    python examples/method_shootout.py --smoke    # tiny serial run (CI)
+    python examples/method_shootout.py                    # full demo, pool
+    python examples/method_shootout.py --smoke            # tiny run (CI)
+    python examples/method_shootout.py --backend socket   # TCP workers
+    python examples/method_shootout.py --cache .campaign_cache
+    python examples/method_shootout.py --journal run.jsonl --resume
 
-The campaign outcomes are also persisted to
-``examples/output/method_shootout.json`` so they can be re-aggregated
+``--cache`` keys finished outcomes by scenario content hash: rerunning
+an unchanged plan simulates nothing and still renders the tables.
+``--journal`` streams outcomes to a JSONL file with durable
+checkpoints; after an interruption, ``--resume`` replays it and runs
+only the missing scenarios.  The campaign outcomes are also persisted
+to ``examples/output/method_shootout.json`` so they can be re-aggregated
 without re-simulating (``CampaignResult.load``).
 """
 
@@ -44,27 +52,50 @@ def build_scenarios(smoke: bool):
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny serial run for CI smoke testing")
+                        help="tiny run for CI smoke testing (serial unless "
+                             "--backend is given)")
+    parser.add_argument("--backend",
+                        choices=("auto", "serial", "process", "pool", "socket"),
+                        default=None,
+                        help="execution backend (default: serial when --smoke, "
+                             "auto otherwise)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="process-pool size (default: one per core)")
+                        help="worker count for the pool/socket backends "
+                             "(default: one per core)")
+    parser.add_argument("--schedule", choices=("plan", "adaptive"),
+                        default="plan",
+                        help="dispatch order: plan order or predicted-"
+                             "longest-first")
+    parser.add_argument("--cache", type=Path, default=None,
+                        help="scenario-hash result cache directory")
+    parser.add_argument("--journal", type=Path, default=None,
+                        help="append-only outcome journal (JSONL)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay --journal and run only missing scenarios")
     args = parser.parse_args()
 
     scenarios = build_scenarios(args.smoke)
     base = SimOptions(t_stop=0.25e-9, h_init=2e-12, store_states=False)
-    mode = "serial" if args.smoke else "auto"
+    backend = args.backend or ("serial" if args.smoke else "auto")
     print(f"running {len(scenarios)} scenarios "
-          f"({mode} mode, {os.cpu_count()} cores available)...")
+          f"({backend} backend, {os.cpu_count()} cores available)...")
 
     campaign = run_campaign(
-        scenarios, base_options=base, mode=mode, workers=args.workers,
+        scenarios, base_options=base, backend=backend, workers=args.workers,
         timeout=300.0,
+        cache=args.cache, journal=args.journal, resume=args.resume,
+        schedule=args.schedule,
         progress=lambda outcome, done, total: print(
             f"  [{done:2d}/{total}] {outcome.scenario.name}: {outcome.status} "
-            f"({outcome.runtime_seconds:.2f}s)"
+            + (f"(reused from {outcome.reused_from})" if outcome.reused
+               else f"({outcome.runtime_seconds:.2f}s)")
         ),
     )
 
-    print(f"\n{campaign} in {campaign.metadata['wall_seconds']:.2f}s wall-clock\n")
+    meta = campaign.metadata
+    print(f"\n{campaign} in {meta['wall_seconds']:.2f}s wall-clock "
+          f"({meta['num_executed']} simulated, {meta['num_cached']} from "
+          f"cache, {meta['num_resumed']} from journal)\n")
     print(render_campaign_table(campaign, reference_method="benr"))
     print()
     print(render_method_matrix(campaign, reference_method="benr"))

@@ -9,10 +9,23 @@ embarrassingly parallel sweep.  This subpackage turns the one-shot
   descriptions (circuit factory + method + option overrides);
 * :mod:`repro.campaign.sweep` -- grid / corner / Monte-Carlo planners with
   deterministic per-variant seeds;
-* :mod:`repro.campaign.runner` -- serial and process-pool execution with
-  per-worker assembly caching, timeouts and failure capture;
-* :mod:`repro.campaign.store` -- outcome collection, aggregation and JSON
-  persistence (rendered by :mod:`repro.reporting.campaign_tables`).
+* :mod:`repro.campaign.backends` -- pluggable execution backends behind
+  one ABC: in-process serial, process pool, and TCP socket workers
+  (``python -m repro.campaign.worker``) with heartbeat monitoring and
+  dead-worker re-dispatch;
+* :mod:`repro.campaign.execution` -- the transport-agnostic
+  ``execute_scenario(dict) -> dict`` contract every backend ships, with
+  per-worker assembly/DC caching, timeouts and failure capture;
+* :mod:`repro.campaign.runner` -- campaign policy over the backend seam:
+  result-cache adoption, journal checkpoint/resume, adaptive scheduling;
+* :mod:`repro.campaign.cache` -- scenario-hash result cache (a re-planned
+  campaign only simulates scenarios whose canonical spec changed);
+* :mod:`repro.campaign.journal` -- append-only outcome journal with
+  durable checkpoints and `resume` replay;
+* :mod:`repro.campaign.schedule` -- predicted-runtime (LPT) scheduling;
+* :mod:`repro.campaign.store` -- outcome collection, incremental
+  aggregation and JSON persistence (rendered by
+  :mod:`repro.reporting.campaign_tables`).
 
 Quick start::
 
@@ -43,14 +56,41 @@ from repro.campaign.sweep import (
     monte_carlo_sweep,
     sample_distribution,
 )
+from repro.campaign.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ExecutionContext,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    resolve_backend,
+)
+from repro.campaign.cache import ResultCache, context_hash
+from repro.campaign.journal import CampaignJournal, JournalContextError
 from repro.campaign.runner import default_workers, execute_scenario, run_campaign
+from repro.campaign.schedule import RuntimeModel, plan_schedule
 from repro.campaign.store import (
     DETERMINISTIC_SUMMARY_KEYS,
     CampaignResult,
+    IncrementalAggregates,
     ScenarioOutcome,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ExecutionContext",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "resolve_backend",
+    "ResultCache",
+    "context_hash",
+    "CampaignJournal",
+    "JournalContextError",
+    "RuntimeModel",
+    "plan_schedule",
+    "IncrementalAggregates",
     "CircuitSpec",
     "Scenario",
     "apply_option_overrides",

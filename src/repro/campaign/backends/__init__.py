@@ -1,0 +1,89 @@
+"""Pluggable campaign execution backends.
+
+One contract (:class:`~repro.campaign.backends.base.ExecutionBackend`),
+three transports:
+
+* :class:`~repro.campaign.backends.local.SerialBackend` -- in-process,
+  the determinism oracle and single-core fallback;
+* :class:`~repro.campaign.backends.local.ProcessPoolBackend` -- the
+  multi-core default, one OS process per worker;
+* :class:`~repro.campaign.backends.tcp.SocketBackend` -- length-prefixed
+  JSON over TCP to ``python -m repro.campaign.worker`` processes, local
+  or remote, with heartbeat monitoring and automatic re-dispatch of
+  scenarios from dead workers.
+
+:func:`resolve_backend` maps the user-facing names (including the
+legacy ``mode`` strings) to instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.campaign.backends.base import (
+    DeliverFn,
+    ExecutionBackend,
+    ExecutionContext,
+    WorkItem,
+)
+from repro.campaign.backends.local import (
+    ProcessPoolBackend,
+    SerialBackend,
+    default_workers,
+)
+from repro.campaign.backends.tcp import SocketBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionContext",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "resolve_backend",
+    "default_workers",
+    "BACKEND_NAMES",
+    "DeliverFn",
+    "WorkItem",
+]
+
+#: user-facing backend names accepted by :func:`resolve_backend` (and the
+#: CLIs); "pool" is an alias for "process"
+BACKEND_NAMES = ("serial", "process", "pool", "socket")
+
+
+def resolve_backend(
+    backend: Union[str, ExecutionBackend, None],
+    workers: Optional[int] = None,
+    num_scenarios: Optional[int] = None,
+) -> ExecutionBackend:
+    """Turn a backend name (or instance) into a ready instance.
+
+    ``"auto"`` (and ``None``) picks the process pool when more than one
+    worker is useful for ``num_scenarios``, the serial backend otherwise
+    -- the historical ``mode="auto"`` behavior.
+
+    A ready instance passes through; an explicit ``workers`` count fills
+    the instance's worker bound only when the instance left it unset
+    (instance configuration wins over the call-site convenience arg).
+    """
+    if isinstance(backend, ExecutionBackend):
+        if workers is not None and getattr(backend, "workers", workers) is None:
+            backend.workers = workers
+        return backend
+    name = (backend or "auto").strip().lower()
+    if name == "auto":
+        useful = workers if workers is not None else \
+            default_workers(num_scenarios if num_scenarios is not None else 1)
+        if useful > 1 and (num_scenarios is None or num_scenarios > 1):
+            return ProcessPoolBackend(workers=workers)
+        return SerialBackend()
+    if name == "serial":
+        return SerialBackend()
+    if name in ("process", "pool"):
+        return ProcessPoolBackend(workers=workers)
+    if name == "socket":
+        return SocketBackend(workers=workers)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected auto|{'|'.join(BACKEND_NAMES)} "
+        f"or an ExecutionBackend instance"
+    )

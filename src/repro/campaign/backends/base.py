@@ -1,0 +1,105 @@
+"""The execution-backend contract.
+
+A backend is *only* a transport: it receives scenario payloads (plain
+dicts) together with an :class:`ExecutionContext`, gets each one executed
+by :func:`repro.campaign.execution.execute_scenario` somewhere -- in
+process, in a pool worker, on the far end of a socket -- and delivers
+every outcome dict exactly once through the supplied callback.  All
+campaign-level policy (scenario ordering, result caching, journaling,
+aggregation) lives in :func:`repro.campaign.runner.run_campaign` *above*
+this seam, so a new transport only has to move bytes.
+
+Contract, precisely:
+
+* ``execute(items, context, deliver)`` receives ``(index, payload)``
+  pairs in dispatch order.  The backend may complete them in any order
+  but must call ``deliver(index, outcome_dict)`` exactly once per item
+  before returning, even for items whose execution infrastructure died
+  (such items deliver an error outcome synthesized via
+  :meth:`ExecutionBackend.failure_outcome`).
+* Outcomes must be *transport-independent*: the same items through any
+  backend produce identical deterministic summaries and samples (the
+  backend-contract test suite parameterizes over every backend and
+  asserts this).
+* ``deliver`` is invoked from the calling thread or from backend-owned
+  threads; callers serialize internally, backends need not.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.store import ScenarioOutcome
+
+__all__ = ["ExecutionContext", "ExecutionBackend", "DeliverFn", "WorkItem"]
+
+#: one unit of dispatch: (index into the campaign's scenario list, payload)
+WorkItem = Tuple[int, Dict[str, object]]
+
+#: outcome delivery callback: (index, outcome_dict)
+DeliverFn = Callable[[int, Dict[str, object]], None]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything :func:`execute_scenario` needs besides the scenario.
+
+    Shipped once per campaign (the socket backend sends it in the worker
+    handshake), never per scenario.
+    """
+
+    #: ``SimOptions.to_dict()`` every scenario's overrides sit on top of
+    base_options: Optional[Dict[str, object]] = None
+    #: per-scenario wall-clock budget in seconds (worker-enforced)
+    timeout: Optional[float] = None
+    #: uniform sample-grid size for observed waveforms
+    sample_points: int = 101
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "base_options": self.base_options,
+            "timeout": self.timeout,
+            "sample_points": self.sample_points,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExecutionContext":
+        return cls(
+            base_options=data.get("base_options"),
+            timeout=data.get("timeout"),
+            sample_points=int(data.get("sample_points", 101)),
+        )
+
+
+class ExecutionBackend(ABC):
+    """Abstract transport executing ``execute_scenario`` somewhere."""
+
+    #: short name recorded in ``CampaignResult.metadata["mode"]``
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, items: Sequence[WorkItem], context: ExecutionContext,
+                deliver: DeliverFn) -> None:
+        """Execute every item, delivering each outcome exactly once."""
+
+    def metadata(self) -> Dict[str, object]:
+        """Backend description merged into the campaign metadata."""
+        return {"mode": self.name, "workers": 1}
+
+    @staticmethod
+    def failure_outcome(payload: Dict[str, object], error: str,
+                        status: str = "error") -> Dict[str, object]:
+        """Synthesize an outcome for an item whose executor was lost.
+
+        Used when the failure happened *around* ``execute_scenario``
+        (worker process death, transport error) so no outcome dict ever
+        came back.
+        """
+        from repro.campaign.scenario import Scenario
+
+        outcome = ScenarioOutcome(
+            scenario=Scenario.from_dict(payload), status=status, error=error,
+        )
+        return outcome.to_dict()

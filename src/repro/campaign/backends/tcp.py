@@ -1,0 +1,356 @@
+"""Distributed execution over TCP: the ``SocketBackend``.
+
+The campaign parent acts as a coordinator: it listens on a TCP port,
+workers (``python -m repro.campaign.worker --connect host:port``) dial
+in, and scenarios flow out / outcomes flow back as **length-prefixed
+JSON** messages (a 4-byte big-endian length followed by a UTF-8 JSON
+document -- trivially implementable from any language).
+
+Protocol (version 1)
+--------------------
+::
+
+    worker -> coordinator   {"type": "hello", "pid": ..., "protocol": 1}
+    coordinator -> worker   {"type": "welcome", "context": {...}}
+    coordinator -> worker   {"type": "task", "index": i, "scenario": {...}}
+    worker -> coordinator   {"type": "ping"}          # heartbeat while busy
+    worker -> coordinator   {"type": "result", "index": i, "outcome": {...}}
+    coordinator -> worker   {"type": "shutdown"}
+
+The campaign-wide :class:`ExecutionContext` travels once, in the
+handshake; tasks carry only the scenario payload.
+
+Fault model
+-----------
+* A worker whose connection drops, or that stays silent longer than
+  ``heartbeat_timeout`` while a task is outstanding, is declared dead.
+  Its in-flight scenario is **automatically re-dispatched** to another
+  worker, at most ``max_attempts`` times in total; a scenario that kills
+  every worker it touches is delivered as an error outcome instead of
+  re-dispatching forever.
+* If every worker is gone, none can be respawned and no new connection
+  arrives within ``accept_timeout``, the remaining scenarios are
+  delivered as error outcomes -- the campaign finishes, degraded, rather
+  than hanging.
+
+By default the backend spawns ``workers`` local worker processes so a
+single-machine campaign needs no orchestration; pass ``spawn=False`` and
+point external workers at ``host:port`` for a multi-host run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.campaign.backends.base import (
+    DeliverFn,
+    ExecutionBackend,
+    ExecutionContext,
+    WorkItem,
+)
+from repro.campaign.backends.local import default_workers
+
+__all__ = ["SocketBackend", "send_message", "recv_message", "PROTOCOL_VERSION"]
+
+PROTOCOL_VERSION = 1
+
+#: struct format of the frame header: 4-byte big-endian payload length
+_HEADER = struct.Struct(">I")
+
+#: refuse frames larger than this (a corrupt header would otherwise make
+#: the reader try to allocate gigabytes)
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def send_message(sock: socket.socket, message: Dict[str, object],
+                 lock: Optional[threading.Lock] = None) -> None:
+    """Send one length-prefixed JSON message (atomically under ``lock``)."""
+    payload = json.dumps(message, default=repr).encode("utf-8")
+    frame = _HEADER.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, object]:
+    """Receive one length-prefixed JSON message (honors ``sock`` timeouts)."""
+    (length,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"oversized frame ({length} bytes)")
+    return json.loads(_recv_exactly(sock, length).decode("utf-8"))
+
+
+class SocketBackend(ExecutionBackend):
+    """Execute scenarios on socket workers (local or remote)."""
+
+    name = "socket"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn: bool = True,
+        heartbeat_timeout: float = 10.0,
+        accept_timeout: float = 30.0,
+        max_attempts: int = 2,
+    ):
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.spawn = spawn
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.accept_timeout = float(accept_timeout)
+        self.max_attempts = int(max_attempts)
+        #: (host, port) actually bound; set once execute() is listening
+        self.address: Optional[tuple] = None
+        self._resolved_workers = workers
+
+    # -- coordinator ------------------------------------------------------------------
+
+    def execute(self, items: Sequence[WorkItem], context: ExecutionContext,
+                deliver: DeliverFn) -> None:
+        items = list(items)
+        if not items:
+            return
+        total = len(items)
+        payload_by_index = {index: payload for index, payload in items}
+
+        state_lock = threading.Lock()
+        work_ready = threading.Condition(state_lock)
+        queue: Deque[int] = deque(index for index, _ in items)
+        attempts: Dict[int, int] = {index: 0 for index, _ in items}
+        delivered: Dict[int, bool] = {}
+        handlers: List[threading.Thread] = []
+        #: coordinator-side failures (journal I/O, progress callback);
+        #: these abort the campaign -- they are NOT worker deaths and
+        #: must never trigger a re-dispatch
+        deliver_errors: List[BaseException] = []
+
+        def _deliver(index: int, data: Dict[str, object]) -> None:
+            with state_lock:
+                if delivered.get(index) or deliver_errors:
+                    return
+                delivered[index] = True
+                done = len(delivered)
+            try:
+                deliver(index, data)
+            except BaseException as exc:  # noqa: BLE001 -- recorded, re-raised
+                with work_ready:
+                    deliver_errors.append(exc)
+                    work_ready.notify_all()
+                return
+            if done == total:
+                with work_ready:
+                    work_ready.notify_all()
+
+        def _fail(index: int, error: str) -> None:
+            _deliver(index, self.failure_outcome(payload_by_index[index], error))
+
+        def _requeue_or_fail(index: int, error: str) -> None:
+            """Re-dispatch a scenario lost to a dead worker (bounded)."""
+            with state_lock:
+                exhausted = attempts[index] >= self.max_attempts
+                if not exhausted:
+                    queue.appendleft(index)
+                    work_ready.notify()
+            if exhausted:
+                _fail(index, error)
+
+        def _handle_worker(conn: socket.socket, peer) -> None:
+            in_flight: Optional[int] = None
+            try:
+                conn.settimeout(self.heartbeat_timeout)
+                hello = recv_message(conn)
+                if hello.get("type") != "hello" or \
+                        hello.get("protocol") != PROTOCOL_VERSION:
+                    send_message(conn, {"type": "error",
+                                        "error": "protocol mismatch"})
+                    return
+                send_message(conn, {"type": "welcome",
+                                    "context": context.to_dict()})
+                while True:
+                    with work_ready:
+                        while not queue and len(delivered) < total \
+                                and not deliver_errors:
+                            work_ready.wait(0.1)
+                        if len(delivered) >= total or not queue \
+                                or deliver_errors:
+                            break
+                        index = queue.popleft()
+                        attempts[index] += 1
+                    in_flight = index
+                    send_message(conn, {
+                        "type": "task", "index": index,
+                        "scenario": payload_by_index[index],
+                    })
+                    while True:
+                        message = recv_message(conn)
+                        kind = message.get("type")
+                        if kind == "ping":
+                            continue
+                        if kind == "result" and message.get("index") == index:
+                            _deliver(index, dict(message["outcome"]))
+                            in_flight = None
+                            break
+                        raise ConnectionError(
+                            f"unexpected message {kind!r} from worker {peer}")
+                try:
+                    send_message(conn, {"type": "shutdown"})
+                except OSError:
+                    pass
+            except (ConnectionError, socket.timeout, OSError, ValueError) as exc:
+                if in_flight is not None:
+                    reason = ("heartbeat lost" if isinstance(exc, socket.timeout)
+                              else str(exc) or type(exc).__name__)
+                    _requeue_or_fail(
+                        in_flight,
+                        f"worker {peer} died mid-scenario ({reason}); "
+                        f"re-dispatch budget exhausted",
+                    )
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                with work_ready:
+                    work_ready.notify_all()
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        processes: List[subprocess.Popen] = []
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen()
+            self.address = listener.getsockname()
+            listener.settimeout(0.2)
+
+            if self.spawn:
+                count = self.workers if self.workers else default_workers(total)
+                self._resolved_workers = count
+                processes = [self._spawn_worker() for _ in range(count)]
+
+            idle_since = time.monotonic()
+            while True:
+                with state_lock:
+                    if len(delivered) >= total or deliver_errors:
+                        break
+                try:
+                    conn, peer = listener.accept()
+                except socket.timeout:
+                    conn = None
+                if conn is not None:
+                    thread = threading.Thread(
+                        target=_handle_worker, args=(conn, peer), daemon=True)
+                    thread.start()
+                    handlers.append(thread)
+                alive_handlers = any(t.is_alive() for t in handlers)
+                alive_processes = any(p.poll() is None for p in processes)
+                if conn is not None or alive_handlers or alive_processes:
+                    idle_since = time.monotonic()
+                elif time.monotonic() - idle_since > self.accept_timeout:
+                    # nothing running, nothing connecting: fail the rest,
+                    # with whatever the dead workers said on stderr
+                    diagnosis = self._worker_stderr_tail(processes)
+                    with state_lock:
+                        remaining = [i for i in attempts
+                                     if not delivered.get(i)]
+                    for index in remaining:
+                        _fail(index, "no workers available "
+                                     f"(waited {self.accept_timeout:g}s)"
+                                     + diagnosis)
+                    break
+            with work_ready:
+                work_ready.notify_all()
+            for thread in handlers:
+                thread.join(timeout=self.heartbeat_timeout + 1.0)
+            if deliver_errors:
+                raise deliver_errors[0]
+        finally:
+            try:
+                listener.close()
+            except OSError:
+                pass
+            for process in processes:
+                if process.poll() is None:
+                    process.terminate()
+            for process in processes:
+                try:
+                    process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+            for process in processes:
+                log = getattr(process, "_stderr_log", None)
+                if log is not None:
+                    log.close()
+
+    def _spawn_worker(self) -> subprocess.Popen:
+        """Launch ``python -m repro.campaign.worker`` against our address.
+
+        Each worker's stderr lands in an anonymous temp file (kept on the
+        Popen object) so a fleet that dies at startup can still be
+        diagnosed -- see :meth:`_worker_stderr_tail`.
+        """
+        host, port = self.address
+        env = dict(os.environ)
+        # make sure the child sees the same import roots (src/, test helpers)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        stderr_log = tempfile.TemporaryFile()
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.campaign.worker",
+             "--connect", f"{host}:{port}"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=stderr_log,
+        )
+        process._stderr_log = stderr_log
+        return process
+
+    @staticmethod
+    def _worker_stderr_tail(processes, limit: int = 2000) -> str:
+        """Last stderr output of a dead spawned worker, for error messages."""
+        for process in processes:
+            log = getattr(process, "_stderr_log", None)
+            if log is None or process.poll() is None:
+                continue
+            try:
+                size = log.seek(0, os.SEEK_END)
+                log.seek(max(0, size - limit))
+                tail = log.read(limit).decode("utf-8", "replace").strip()
+            except (OSError, ValueError):
+                continue
+            if tail:
+                return (f"; worker pid {process.pid} exited "
+                        f"{process.returncode} with stderr: {tail}")
+        return ""
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "mode": self.name,
+            "workers": self._resolved_workers,
+            "spawn": self.spawn,
+            "address": list(self.address) if self.address else None,
+        }

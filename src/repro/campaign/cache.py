@@ -1,0 +1,113 @@
+"""Scenario-level result cache.
+
+A re-planned campaign usually changes only a slice of its scenarios --
+one more method, a tweaked parameter axis -- yet the naive flow
+re-simulates everything.  The cache keys finished outcomes by the
+scenario's content hash (:func:`repro.campaign.scenario.scenario_hash`),
+so :func:`~repro.campaign.runner.run_campaign` can adopt the unchanged
+scenarios' outcomes from disk and only execute the ones whose canonical
+spec actually changed.  With a fully unchanged plan, a cached re-run
+simulates zero scenarios.
+
+Two rules keep the cache honest:
+
+* the scenario hash deliberately excludes ``name`` and ``tags``
+  (presentation metadata), but it also excludes the campaign-wide
+  *context* -- base options and the sample grid -- which **does**
+  change results.  Cache entries are therefore keyed by
+  ``scenario_hash + context hash``; rerunning under different base
+  options is a miss, renaming a sweep is a hit.  The per-scenario
+  timeout is deliberately *not* part of the context: it is execution
+  policy, and a stored ``ok`` outcome's content does not depend on the
+  budget it ran under.
+* only ``status == "ok"`` outcomes are stored.  Failures and timeouts
+  are re-executed on the next run -- a cache must never make a transient
+  infrastructure failure permanent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.campaign.scenario import Scenario, scenario_hash
+
+__all__ = ["ResultCache", "context_hash"]
+
+#: bumped when the on-disk cache entry layout changes
+CACHE_FORMAT_VERSION = 1
+
+
+def context_hash(base_options: Optional[Dict[str, object]],
+                 sample_points: int) -> str:
+    """Hash of everything outcome-relevant that is *not* in the scenario."""
+    payload = json.dumps(
+        {"base_options": base_options, "sample_points": int(sample_points)},
+        sort_keys=True, default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class ResultCache:
+    """Filesystem-backed map ``(scenario content, context) -> outcome``."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def key(self, scenario: Scenario, context: str) -> str:
+        return f"{scenario_hash(scenario)}-{context}"
+
+    def path(self, scenario: Scenario, context: str) -> Path:
+        return self.root / f"{self.key(scenario, context)}.json"
+
+    def has(self, scenario: Scenario, context: str) -> bool:
+        return self.path(scenario, context).exists()
+
+    def get(self, scenario: Scenario,
+            context: str) -> Optional[Dict[str, object]]:
+        """Return the cached outcome dict, rewritten to ``scenario``.
+
+        The stored scenario and the requesting one can differ in name and
+        tags (the hash ignores both), so the outcome is re-labelled with
+        the *current* scenario before it is returned -- aggregate tables
+        must show this campaign's names, not last week's.
+        """
+        path = self.path(scenario, context)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("format_version") != CACHE_FORMAT_VERSION:
+            return None
+        outcome = dict(entry["outcome"])
+        outcome["scenario"] = scenario.to_dict()
+        outcome["reused_from"] = "cache"
+        return outcome
+
+    def put(self, scenario: Scenario, context: str,
+            outcome: Dict[str, object]) -> Optional[Path]:
+        """Store an outcome; silently refuses non-ok outcomes."""
+        if outcome.get("status") != "ok":
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(scenario, context)
+        stored = dict(outcome)
+        stored.pop("reused_from", None)
+        entry = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "key": self.key(scenario, context),
+            "scenario_hash": scenario_hash(scenario),
+            "context": context,
+            "outcome": stored,
+        }
+        path.write_text(json.dumps(entry, default=repr) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

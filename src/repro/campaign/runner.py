@@ -1,185 +1,61 @@
-"""Scenario execution: serial and process-parallel campaign runs.
+"""Campaign orchestration: what runs, where, and what is reused.
 
-Scenarios are independent, so a campaign is embarrassingly parallel: the
-runner ships each scenario (as a plain dict) to a
-:class:`concurrent.futures.ProcessPoolExecutor` worker, which rebuilds the
-circuit through the factory registry, runs the transient analysis and
-returns a :class:`~repro.campaign.store.ScenarioOutcome`.
+Historically this module *was* the execution layer -- a hard-wired
+process-pool loop.  That loop now lives behind the pluggable
+:class:`~repro.campaign.backends.base.ExecutionBackend` seam
+(:mod:`repro.campaign.backends`), and :func:`run_campaign` is pure
+policy layered on top of it:
 
-Three properties matter for correctness and throughput:
+1. **Adoption** -- outcomes recorded in a resumable journal
+   (``journal=..., resume=True``) or stored in the scenario-hash result
+   cache (``cache=...``) are adopted without re-simulating; only
+   scenarios whose canonical spec (or campaign context) changed are
+   executed.
+2. **Scheduling** -- ``schedule="adaptive"`` dispatches the pending
+   scenarios predicted-longest-first (LPT, from the structure stats and
+   runtimes of already-known outcomes) to cut pool tail latency; the
+   dispatch order is recorded in the metadata so runs stay reproducible.
+3. **Execution** -- the chosen backend ships each pending scenario
+   through the transport-agnostic ``execute_scenario(dict) -> dict``
+   contract and delivers outcomes as they complete.
+4. **Streaming collection** -- every delivery appends to the journal
+   (with periodic durable checkpoints), feeds the result cache, updates
+   the incremental aggregates and fires the progress callback; an
+   interrupted campaign can be continued with ``resume=True`` and ends
+   up with the same aggregate tables as an uninterrupted one.
 
-* **Assembly and DC reuse** -- a worker keeps the assembled
-  :class:`~repro.circuit.mna.MNASystem` of each distinct circuit spec in a
-  small per-process cache, so a sweep that runs N methods x K option sets
-  on one circuit builds its MNA matrices once per worker instead of N*K
-  times.  (Device evaluation is stateless, so reuse cannot change
-  results; the serial-equals-parallel test locks this in.)  The DC
-  operating point is cached per ``(circuit, dc-options, gshunt, memory
-  budget)`` the same way -- the DC system does not depend on the
-  integration method, so method sweeps on one circuit pay for Newton
-  once; the original solve's LU counters are replayed into every reusing
-  run so the reported statistics match an uncached execution.
-* **Failure capture** -- a scenario that raises, diverges or exceeds its
-  timeout produces a failure outcome with the traceback attached; it never
-  takes down the campaign.
-* **Per-scenario timeout** -- enforced inside the worker with
-  ``signal.setitimer`` where available (POSIX main thread), so a hung
-  scenario frees its worker instead of blocking the pool's queue.
-
-The serial path runs the *identical* scenario-execution function in the
-parent process, which makes it both the fallback for single-core machines
-and the oracle for determinism tests.
+Outcomes are returned in scenario order regardless of completion order,
+and per-scenario statistics are identical across every backend (the
+circuits are rebuilt from the same specs and the integrators are
+deterministic) -- the backend-contract test suite locks this in.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import signal
 import threading
 import time
-import traceback as traceback_module
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-import numpy as np
-
+from repro.campaign.backends import (
+    ExecutionBackend,
+    ExecutionContext,
+    default_workers,
+    resolve_backend,
+)
+from repro.campaign.cache import ResultCache, context_hash
+from repro.campaign.execution import execute_scenario  # noqa: F401  (public API)
+from repro.campaign.journal import CampaignJournal
 from repro.campaign.scenario import Scenario
-from repro.campaign.store import CampaignResult, ScenarioOutcome
+from repro.campaign.schedule import SCHEDULE_POLICIES, plan_schedule
+from repro.campaign.store import (
+    CampaignResult,
+    IncrementalAggregates,
+    ScenarioOutcome,
+)
 from repro.core.options import SimOptions
-from repro.core.simulator import TransientSimulator
 
 __all__ = ["run_campaign", "execute_scenario", "default_workers"]
-
-#: per-worker cache of assembled MNA systems, keyed by CircuitSpec.cache_key()
-_MNA_CACHE: Dict[str, object] = {}
-#: cap on cached assemblies per worker (FIFO eviction); campaigns rarely
-#: touch more than a handful of distinct circuits per worker
-_MNA_CACHE_MAX = 8
-
-#: per-worker cache of DC operating points, keyed by circuit + everything
-#: the DC system depends on (see :func:`_dc_cache_key`); holds
-#: ``(DCResult, LUStats)`` pairs so reusing runs replay the solve's counters
-_DC_CACHE: Dict[Tuple, Tuple[object, object]] = {}
-_DC_CACHE_MAX = 16
-
-
-class _ScenarioTimeout(Exception):
-    """Raised inside a worker when the per-scenario timer fires."""
-
-
-def _timeout_guard(seconds: Optional[float]):
-    """Arm a SIGALRM-based timeout if the platform allows it.
-
-    Returns a disarm callable.  On platforms without ``setitimer`` (or off
-    the main thread) the guard is a no-op and timeouts are best-effort.
-    """
-    if (
-        seconds is None
-        or seconds <= 0
-        or not hasattr(signal, "setitimer")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        return lambda: None
-
-    def _on_alarm(signum, frame):
-        raise _ScenarioTimeout(f"scenario exceeded its {seconds:g}s timeout")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-
-    def _disarm():
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-    return _disarm
-
-
-def _cached_mna(scenario: Scenario) -> Tuple[object, bool]:
-    """Build (or fetch) the assembled MNA system for the scenario's circuit."""
-    key = scenario.circuit.cache_key()
-    if key in _MNA_CACHE:
-        return _MNA_CACHE[key], True
-    circuit = scenario.circuit.build()
-    mna = circuit.build()
-    while len(_MNA_CACHE) >= _MNA_CACHE_MAX:
-        _MNA_CACHE.pop(next(iter(_MNA_CACHE)))
-    _MNA_CACHE[key] = mna
-    return mna, False
-
-
-def _dc_cache_key(circuit_key: str, options: SimOptions) -> Tuple:
-    """Identity of a DC solve: circuit plus every option the solve reads."""
-    return (
-        circuit_key,
-        json.dumps(options.dc.to_dict(), sort_keys=True, default=repr),
-        float(options.gshunt),
-        options.max_factor_nnz,
-    )
-
-
-def execute_scenario(
-    scenario_data: Dict[str, object],
-    base_options_data: Optional[Dict[str, object]] = None,
-    timeout: Optional[float] = None,
-    sample_points: int = 101,
-) -> Dict[str, object]:
-    """Run one scenario and return its outcome as a plain dict.
-
-    This function is the unit shipped to pool workers; it never raises --
-    every failure mode is folded into the outcome's status/traceback.
-    """
-    scenario = Scenario.from_dict(scenario_data)
-    outcome = ScenarioOutcome(scenario=scenario, worker=os.getpid())
-    wall_start = time.perf_counter()
-    disarm = _timeout_guard(timeout)
-    try:
-        base = SimOptions.from_dict(base_options_data) if base_options_data else None
-        options = scenario.sim_options(base)
-        if scenario.observe:
-            observe = list(dict.fromkeys(list(options.observe_nodes) + scenario.observe))
-            options = options.with_updates(observe_nodes=observe)
-        mna, cache_hit = _cached_mna(scenario)
-        outcome.cache_hit = cache_hit
-        outcome.structure = mna.structure_stats().as_dict()
-        simulator = TransientSimulator(mna, method=scenario.method, options=options)
-        dc_key = _dc_cache_key(scenario.circuit.cache_key(), options)
-        cached_dc = _DC_CACHE.get(dc_key)
-        if cached_dc is not None:
-            simulator.seed_dc(*cached_dc)
-            outcome.dc_cache_hit = True
-        result = simulator.run()
-        if cached_dc is None and simulator.dc_result is not None:
-            while len(_DC_CACHE) >= _DC_CACHE_MAX:
-                _DC_CACHE.pop(next(iter(_DC_CACHE)))
-            _DC_CACHE[dc_key] = (simulator.dc_result, simulator.dc_lu_stats)
-        outcome.summary = result.summary()
-        outcome.status = "ok" if result.stats.completed else "failed"
-        if not result.stats.completed:
-            outcome.error = result.stats.failure_reason
-        elif scenario.observe:
-            grid = np.linspace(options.t_start, options.t_stop, int(sample_points))
-            outcome.sample_times = [float(t) for t in grid]
-            times = result.time_array
-            for node in scenario.observe:
-                values = np.interp(grid, times, result.voltage(node))
-                outcome.samples[node] = [float(v) for v in values]
-    except _ScenarioTimeout as exc:
-        outcome.status = "timeout"
-        outcome.error = str(exc)
-    except Exception as exc:  # noqa: BLE001 -- failure capture is the contract
-        outcome.status = "error"
-        outcome.error = f"{type(exc).__name__}: {exc}"
-        outcome.traceback = traceback_module.format_exc()
-    finally:
-        disarm()
-        outcome.runtime_seconds = time.perf_counter() - wall_start
-    return outcome.to_dict()
-
-
-def default_workers(num_scenarios: int) -> int:
-    """Worker count: one per core, never more than there are scenarios."""
-    return max(1, min(os.cpu_count() or 1, num_scenarios))
 
 
 def run_campaign(
@@ -190,6 +66,14 @@ def run_campaign(
     timeout: Optional[float] = None,
     sample_points: int = 101,
     progress: Optional[Callable[[ScenarioOutcome, int, int], None]] = None,
+    *,
+    backend: Union[str, ExecutionBackend, None] = None,
+    cache: Union[str, Path, ResultCache, None] = None,
+    journal: Union[str, Path, CampaignJournal, None] = None,
+    resume: bool = False,
+    checkpoint_every: int = 25,
+    schedule: str = "plan",
+    history: Optional[Sequence[ScenarioOutcome]] = None,
 ) -> CampaignResult:
     """Execute ``scenarios`` and collect a :class:`CampaignResult`.
 
@@ -199,82 +83,210 @@ def run_campaign(
         :class:`SimOptions` every scenario's overrides are applied on top
         of (defaults to ``SimOptions()``).
     mode:
-        ``"process"`` forces the pool, ``"serial"`` runs in-process,
-        ``"auto"`` picks the pool when more than one worker is useful.
+        Backend name -- ``"serial"``, ``"process"`` (alias ``"pool"``),
+        ``"socket"`` -- or ``"auto"``, which picks the pool when more
+        than one worker is useful.  Kept for backward compatibility;
+        ``backend`` wins when both are given.
     workers:
-        Pool size; defaults to :func:`default_workers`.
+        Worker count for the pool/socket backends; defaults to one per
+        core (bounded by the number of pending scenarios).
     timeout:
         Per-scenario wall-clock budget in seconds (enforced in the worker
-        where the platform supports timers; see :func:`execute_scenario`).
+        where the platform supports timers).
     progress:
         Optional callback ``(outcome, done, total)`` invoked as outcomes
-        arrive (in completion order under the pool).
-
-    Outcomes are returned in scenario order regardless of completion
-    order, and per-scenario statistics are identical between serial and
-    process execution (the circuits are rebuilt from the same specs and
-    the integrators are deterministic).
+        arrive (adopted outcomes first, then executed ones in completion
+        order).
+    backend:
+        An :class:`ExecutionBackend` instance or name; overrides ``mode``.
+    cache:
+        Result-cache directory (or :class:`ResultCache`).  Scenarios
+        whose content hash + campaign context already have a stored
+        ``ok`` outcome are adopted without re-simulating; fresh ``ok``
+        outcomes are stored back.
+    journal:
+        JSONL outcome journal path (or :class:`CampaignJournal`).  Every
+        outcome is appended as it arrives, with a durable checkpoint
+        every ``checkpoint_every`` outcomes.  Without ``resume`` an
+        existing file is truncated.
+    resume:
+        Replay an existing journal first and execute only the scenarios
+        it does not cover with a finished ``ok`` outcome -- recorded
+        timeouts and errors re-run, so resuming recovers from the very
+        interruption that produced them (requires ``journal``; refuses
+        a journal recorded under a different campaign context).
+    schedule:
+        ``"plan"`` dispatches in scenario order; ``"adaptive"`` goes
+        predicted-longest-first using known outcomes (adopted ones plus
+        ``history``).  The dispatch order lands in
+        ``metadata["schedule"]`` either way.
+    history:
+        Extra finished outcomes (e.g. a prior campaign's) fed to the
+        adaptive scheduler's runtime model.
     """
     scenarios = list(scenarios)
     names = [s.name for s in scenarios]
     if len(set(names)) != len(names):
         raise ValueError("scenario names within a campaign must be unique")
-    if mode not in ("auto", "serial", "process"):
-        raise ValueError(f"unknown mode {mode!r}; expected auto|serial|process")
-    if workers is None:
-        workers = default_workers(len(scenarios))
-    use_pool = mode == "process" or (mode == "auto" and workers > 1 and len(scenarios) > 1)
+    if not isinstance(mode, str):
+        raise ValueError(f"unknown mode {mode!r}; expected a backend name")
+    if backend is None and mode.strip().lower() not in (
+            "auto", "serial", "process", "pool", "socket"):
+        raise ValueError(
+            f"unknown mode {mode!r}; expected auto|serial|process|pool|socket")
+    if schedule not in SCHEDULE_POLICIES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; expected "
+            + "|".join(SCHEDULE_POLICIES))
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
 
     base_data = base_options.to_dict() if base_options is not None else None
+    context = ExecutionContext(base_options=base_data, timeout=timeout,
+                               sample_points=sample_points)
+    ctx_key = context_hash(base_data, sample_points)
     payloads = [s.to_dict() for s in scenarios]
-    outcome_dicts: List[Optional[Dict[str, object]]] = [None] * len(scenarios)
+    hashes = [s.content_hash() for s in scenarios]
+
+    #: plan index -> outcome dict adopted without executing (journal/cache)
+    adopted_dicts: Dict[int, Dict[str, object]] = {}
+    num_resumed = 0
+    num_cached = 0
     wall_start = time.perf_counter()
+
+    # -- adoption: journal replay ----------------------------------------------------
+    the_journal: Optional[CampaignJournal] = None
+    if journal is not None:
+        the_journal = journal if isinstance(journal, CampaignJournal) else \
+            CampaignJournal(journal, checkpoint_every=checkpoint_every)
+    if resume and the_journal is not None and the_journal.exists():
+        header, replayed = the_journal.replay()
+        del header  # context validated by journal.start()
+        for index, scenario_hash in enumerate(hashes):
+            recorded = replayed.get(scenario_hash)
+            if recorded is None:
+                continue
+            if recorded.get("status") != "ok":
+                # adopt finished work only: recorded timeouts are
+                # wall-clock policy (the natural recovery flow is
+                # "resume with a bigger timeout") and recorded errors
+                # may be the very infrastructure failure -- dead
+                # workers, full disk -- the resume exists to get past;
+                # deterministic scenario errors simply reproduce
+                continue
+            adopted = dict(recorded)
+            # name/tags are presentation metadata outside the hash: show
+            # this campaign's labels, not the recording campaign's
+            adopted["scenario"] = payloads[index]
+            adopted["reused_from"] = "journal"
+            adopted_dicts[index] = adopted
+            num_resumed += 1
+
+    # -- adoption: result cache ------------------------------------------------------
+    the_cache: Optional[ResultCache] = None
+    if cache is not None:
+        the_cache = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+        for index, scenario in enumerate(scenarios):
+            if index in adopted_dicts:
+                continue
+            data = the_cache.get(scenario, ctx_key)
+            if data is not None:
+                adopted_dicts[index] = data
+                num_cached += 1
+
+    pending = [(i, scenarios[i]) for i in range(len(scenarios))
+               if i not in adopted_dicts]
+
+    # -- scheduling ------------------------------------------------------------------
+    if schedule == "adaptive":
+        known_outcomes = [ScenarioOutcome.from_dict(d)
+                          for d in adopted_dicts.values()]
+        if history:
+            known_outcomes.extend(history)
+        order, predictions = plan_schedule(pending, known_outcomes)
+        by_index = dict(pending)
+        pending = [(i, by_index[i]) for i in order]
+    else:
+        predictions = None
+    schedule_record: Dict[str, object] = {
+        "policy": schedule,
+        "dispatch_order": [scenarios[i].name for i, _ in pending],
+    }
+    if predictions is not None:
+        schedule_record["predicted_seconds"] = predictions
+
+    # -- execution -------------------------------------------------------------------
+    the_backend = resolve_backend(backend if backend is not None else mode,
+                                  workers=workers,
+                                  num_scenarios=len(pending))
+
+    if the_journal is not None:
+        the_journal.start(ctx_key, resume=resume, metadata={
+            "num_scenarios": len(scenarios),
+            "sample_points": sample_points,
+            "backend": the_backend.name,
+        })
+
+    aggregates = IncrementalAggregates()
+    deliver_lock = threading.Lock()
+    outcome_objs: List[Optional[ScenarioOutcome]] = [None] * len(scenarios)
     done = 0
 
-    def _deliver(index: int, data: Dict[str, object]) -> None:
+    def _deliver(index: int, data: Dict[str, object],
+                 journal_line: bool = True) -> None:
         nonlocal done
-        outcome_dicts[index] = data
-        done += 1
+        with deliver_lock:
+            done += 1
+            outcome = ScenarioOutcome.from_dict(data)
+            outcome_objs[index] = outcome
+            aggregates.update(outcome)
+            if the_journal is not None and journal_line:
+                the_journal.append(hashes[index], data,
+                                   aggregates=aggregates.snapshot())
+            # everything not already served *from* the cache is stored
+            # back -- including journal-adopted outcomes, so a resumed
+            # campaign still warms the cache for the next re-plan
+            if the_cache is not None and outcome.reused_from != "cache":
+                the_cache.put(scenarios[index], ctx_key, data)
+            done_now = done
         if progress is not None:
-            progress(ScenarioOutcome.from_dict(data), done, len(scenarios))
+            progress(outcome, done_now, len(scenarios))
 
-    if not use_pool:
-        executed_mode = "serial"
-        # mirror the lifetime of a pool worker's caches: fresh per campaign
-        _MNA_CACHE.clear()
-        _DC_CACHE.clear()
-        for index, payload in enumerate(payloads):
-            _deliver(index, execute_scenario(payload, base_data, timeout, sample_points))
-    else:
-        executed_mode = "process"
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {
-                pool.submit(execute_scenario, payload, base_data, timeout, sample_points): i
-                for i, payload in enumerate(payloads)
-            }
-            while pending:
-                finished, _ = wait(list(pending), return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = pending.pop(future)
-                    try:
-                        data = future.result()
-                    except Exception as exc:  # worker death / pickling failure
-                        failure = ScenarioOutcome(
-                            scenario=scenarios[index],
-                            status="error",
-                            error=f"{type(exc).__name__}: {exc}",
-                        )
-                        data = failure.to_dict()
-                    _deliver(index, data)
+    # adopted outcomes stream through the same delivery path; journal-
+    # adopted ones skip the journal append (they are already lines of the
+    # very file being appended to)
+    for index, data in sorted(adopted_dicts.items()):
+        _deliver(index, data,
+                 journal_line=data.get("reused_from") != "journal")
+    adopted_dicts.clear()
 
-    outcomes = [ScenarioOutcome.from_dict(d) for d in outcome_dicts]
+    try:
+        if pending:
+            items = [(index, payloads[index]) for index, _ in pending]
+            the_backend.execute(items, context, _deliver)
+    finally:
+        if the_journal is not None:
+            the_journal.close(aggregates=aggregates.snapshot())
+
+    # -- collection ------------------------------------------------------------------
+    missing = [scenarios[i].name for i, o in enumerate(outcome_objs)
+               if o is None]
+    if missing:
+        raise RuntimeError(
+            f"backend {the_backend.name!r} failed to deliver outcomes for "
+            f"{missing!r} (broken ExecutionBackend contract)")
+    outcomes = list(outcome_objs)
     metadata = {
-        "mode": executed_mode,
-        "workers": workers if executed_mode == "process" else 1,
         "num_scenarios": len(scenarios),
+        "num_executed": len(pending),
+        "num_cached": num_cached,
+        "num_resumed": num_resumed,
         "timeout": timeout,
         "sample_points": sample_points,
         "wall_seconds": time.perf_counter() - wall_start,
         "base_options": base_data,
+        "context": ctx_key,
+        "schedule": schedule_record,
     }
+    metadata.update(the_backend.metadata())
     return CampaignResult(outcomes=outcomes, metadata=metadata)

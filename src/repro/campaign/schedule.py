@@ -1,0 +1,120 @@
+"""Adaptive scenario scheduling: predicted-runtime, largest-first.
+
+A pool finishing a campaign is only as fast as its last worker; when the
+biggest scenario is dispatched last, every other worker idles while it
+runs (the classic makespan tail).  Dispatching the *predicted-longest*
+scenarios first (LPT scheduling) trims that tail without changing any
+outcome -- scenarios are independent, so order is pure policy.
+
+Predictions come from outcomes that already exist -- resumed journal
+entries, result-cache hits, or a prior :class:`CampaignResult` passed as
+``history`` -- which carry both the measured ``runtime_seconds`` and the
+circuit's structure stats:
+
+1. a scenario whose ``(circuit, method)`` pair has recorded runs is
+   predicted at their mean runtime;
+2. a scenario whose circuit appeared (under any method) is predicted
+   from the circuit's matrix size via the history's global
+   seconds-per-nonzero rate;
+3. a scenario with no usable history has no prediction and is dispatched
+   *before* all predicted ones (unknown cost is treated as potentially
+   large -- the conservative choice for the tail).
+
+The dispatch order is deterministic (ties fall back to plan order) and
+is recorded in the campaign metadata, so an adaptive run remains exactly
+reproducible from its own report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.campaign.scenario import Scenario
+from repro.campaign.store import ScenarioOutcome
+
+__all__ = ["RuntimeModel", "plan_schedule", "SCHEDULE_POLICIES"]
+
+#: accepted ``run_campaign(schedule=...)`` values
+SCHEDULE_POLICIES = ("plan", "adaptive")
+
+
+def _structure_nnz(structure: Dict[str, object]) -> Optional[float]:
+    nnz_c = structure.get("nnzC")
+    nnz_g = structure.get("nnzG")
+    if nnz_c is None and nnz_g is None:
+        return None
+    return float(nnz_c or 0) + float(nnz_g or 0)
+
+
+class RuntimeModel:
+    """Runtime predictor fitted from finished outcomes."""
+
+    def __init__(self, outcomes: Iterable[ScenarioOutcome] = ()):
+        #: (circuit cache key, method) -> (total seconds, count)
+        self._pair_runtime: Dict[Tuple[str, str], Tuple[float, int]] = {}
+        #: circuit cache key -> nnz(C) + nnz(G)
+        self._circuit_nnz: Dict[str, float] = {}
+        self._total_seconds = 0.0
+        self._total_nnz = 0.0
+        for outcome in outcomes:
+            self.observe(outcome)
+
+    def observe(self, outcome: ScenarioOutcome) -> None:
+        if not outcome.ok or outcome.runtime_seconds <= 0.0:
+            return
+        circuit_key = outcome.scenario.circuit.cache_key()
+        method = outcome.scenario.method.strip().lower()
+        total, count = self._pair_runtime.get((circuit_key, method), (0.0, 0))
+        self._pair_runtime[(circuit_key, method)] = (
+            total + outcome.runtime_seconds, count + 1)
+        nnz = _structure_nnz(outcome.structure)
+        if nnz:
+            self._circuit_nnz.setdefault(circuit_key, nnz)
+            self._total_seconds += outcome.runtime_seconds
+            self._total_nnz += nnz
+
+    @property
+    def seconds_per_nnz(self) -> Optional[float]:
+        if self._total_nnz <= 0.0:
+            return None
+        return self._total_seconds / self._total_nnz
+
+    def predict(self, scenario: Scenario) -> Optional[float]:
+        """Predicted runtime in seconds, or None without usable history."""
+        circuit_key = scenario.circuit.cache_key()
+        method = scenario.method.strip().lower()
+        pair = self._pair_runtime.get((circuit_key, method))
+        if pair is not None:
+            total, count = pair
+            return total / count
+        nnz = self._circuit_nnz.get(circuit_key)
+        rate = self.seconds_per_nnz
+        if nnz is not None and rate is not None:
+            return nnz * rate
+        return None
+
+
+def plan_schedule(
+    pending: Sequence[Tuple[int, Scenario]],
+    history: Iterable[ScenarioOutcome] = (),
+) -> Tuple[List[int], Dict[str, Optional[float]]]:
+    """Order pending scenarios largest-predicted-first.
+
+    ``pending`` is ``(plan index, scenario)`` pairs; the return value is
+    the dispatch order (as plan indices) plus the per-scenario-name
+    predictions that produced it (``None`` = no history, dispatched
+    first).  With no usable history at all the plan order is preserved.
+    """
+    model = RuntimeModel(history)
+    predictions: Dict[str, Optional[float]] = {}
+    keyed = []
+    for position, (index, scenario) in enumerate(pending):
+        predicted = model.predict(scenario)
+        predictions[scenario.name] = predicted
+        # unknowns first (treated as +inf), then longest first; plan
+        # order breaks ties so the schedule is deterministic
+        sort_key = (0 if predicted is None else 1,
+                    -(predicted or 0.0), position)
+        keyed.append((sort_key, index))
+    keyed.sort()
+    return [index for _, index in keyed], predictions

@@ -1,4 +1,4 @@
-"""Campaign result store and aggregation.
+"""Campaign result store and incremental aggregation.
 
 Workers return one :class:`ScenarioOutcome` per scenario -- a compact,
 picklable record of the run's Table-I counters, the circuit's structural
@@ -7,6 +7,14 @@ information.  :class:`CampaignResult` collects them and derives the
 aggregate views: per-method comparison rows with speedups and maximum
 error against a reference method, JSON persistence, and simple grouping
 helpers the reporting layer renders from.
+
+Aggregation is *incremental*: every index the views need -- name lookup,
+variant grouping, per-method totals, the static part of each table row --
+is maintained by :meth:`CampaignResult.add` as outcomes arrive, so
+rendering a table from a campaign of thousands of scenarios never
+re-scans the full outcome list, and a streaming consumer (the journal's
+checkpoint lines, a progress UI) can read consistent aggregates
+mid-campaign from :meth:`CampaignResult.aggregates`.
 """
 
 from __future__ import annotations
@@ -14,11 +22,16 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.scenario import Scenario
 
-__all__ = ["ScenarioOutcome", "CampaignResult", "DETERMINISTIC_SUMMARY_KEYS"]
+__all__ = [
+    "ScenarioOutcome",
+    "CampaignResult",
+    "IncrementalAggregates",
+    "DETERMINISTIC_SUMMARY_KEYS",
+]
 
 #: summary keys that must be bit-identical between serial and parallel
 #: executions of the same scenario (everything except wall-clock timing)
@@ -53,10 +66,18 @@ class ScenarioOutcome:
     cache_hit: bool = False
     #: whether the worker reused a cached DC operating point
     dc_cache_hit: bool = False
+    #: None when this outcome was simulated by the campaign that reports
+    #: it; "cache" / "journal" when it was adopted without re-simulating
+    reused_from: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def reused(self) -> bool:
+        """Whether the outcome was adopted (cache/journal) instead of run."""
+        return self.reused_from is not None
 
     def deterministic_summary(self) -> Dict[str, object]:
         """The summary restricted to scheduling-independent counters."""
@@ -76,6 +97,7 @@ class ScenarioOutcome:
             "worker": self.worker,
             "cache_hit": self.cache_hit,
             "dc_cache_hit": self.dc_cache_hit,
+            "reused_from": self.reused_from,
         }
 
     @classmethod
@@ -93,6 +115,7 @@ class ScenarioOutcome:
             worker=data.get("worker"),
             cache_hit=bool(data.get("cache_hit", False)),
             dc_cache_hit=bool(data.get("dc_cache_hit", False)),
+            reused_from=data.get("reused_from"),
         )
 
 
@@ -108,19 +131,128 @@ def _max_abs_error(outcome: ScenarioOutcome, reference: ScenarioOutcome) -> Opti
     return worst
 
 
+class IncrementalAggregates:
+    """Running per-method totals, updated one outcome at a time.
+
+    Cheap enough to update on every delivery, rich enough for progress
+    displays and journal checkpoints: per method (lower-cased) the
+    outcome count, ok count, total runtime and total accepted steps,
+    plus campaign-wide totals.
+    """
+
+    def __init__(self):
+        self.total = 0
+        self.ok = 0
+        self.runtime_seconds = 0.0
+        self.per_method: Dict[str, Dict[str, object]] = {}
+
+    def update(self, outcome: ScenarioOutcome) -> None:
+        self.total += 1
+        self.ok += 1 if outcome.ok else 0
+        self.runtime_seconds += outcome.runtime_seconds
+        method = outcome.scenario.method.strip().lower()
+        bucket = self.per_method.setdefault(method, {
+            "count": 0, "ok": 0, "runtime_seconds": 0.0, "steps": 0,
+        })
+        bucket["count"] += 1
+        bucket["ok"] += 1 if outcome.ok else 0
+        bucket["runtime_seconds"] += outcome.runtime_seconds
+        bucket["steps"] += int(outcome.summary.get("#step") or 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "runtime_seconds": self.runtime_seconds,
+            "per_method": {m: dict(b) for m, b in self.per_method.items()},
+        }
+
+
+#: static (reference-independent) columns of one scenario's table row
+def _base_row(outcome: ScenarioOutcome) -> Dict[str, object]:
+    scenario = outcome.scenario
+    row: Dict[str, object] = {
+        "scenario": scenario.name,
+        "circuit": scenario.circuit.factory,
+        "method": outcome.summary.get("method", scenario.method),
+        "status": outcome.status,
+        "#N": outcome.structure.get("#N"),
+        "nnzC": outcome.structure.get("nnzC"),
+        "nnzG": outcome.structure.get("nnzG"),
+        "#step": outcome.summary.get("#step"),
+        "#NRa": outcome.summary.get("#NRa"),
+        "#ma": outcome.summary.get("#ma"),
+        "#LU": outcome.summary.get("#LU"),
+        "RT(s)": outcome.summary.get("RT(s)"),
+        "peak_factor_nnz": outcome.summary.get("peak_factor_nnz"),
+    }
+    for tag, value in scenario.tags.items():
+        row.setdefault(str(tag), value)
+    return row
+
+
 class CampaignResult:
-    """All outcomes of one campaign plus aggregate views."""
+    """All outcomes of one campaign plus (incrementally maintained)
+    aggregate views.
+
+    Append through :meth:`add` (or the constructor) only -- every view
+    below reads the indices ``add`` maintains, never the raw list, so a
+    direct ``outcomes.append`` would desynchronize them.
+    """
 
     def __init__(self, outcomes: Optional[Iterable[ScenarioOutcome]] = None,
                  metadata: Optional[Dict[str, object]] = None):
-        self.outcomes: List[ScenarioOutcome] = list(outcomes or [])
+        self.outcomes: List[ScenarioOutcome] = []
         #: execution metadata (mode, workers, wall time, base options...)
         self.metadata: Dict[str, object] = dict(metadata or {})
+        self._by_name: Dict[str, ScenarioOutcome] = {}
+        self._by_variant: Dict[str, List[ScenarioOutcome]] = {}
+        #: (variant key, lower-cased method) -> first outcome; the O(1)
+        #: reference lookup of :meth:`rows`
+        self._by_variant_method: Dict[Tuple[str, str], ScenarioOutcome] = {}
+        #: pre-computed static table row per outcome (parallel to
+        #: ``outcomes``); reference columns are layered on at render time
+        self._base_rows: List[Dict[str, object]] = []
+        #: cached variant key per outcome (the canonical JSON is not free)
+        self._variant_keys: List[str] = []
+        self._aggregates = IncrementalAggregates()
+        for outcome in (outcomes or []):
+            self.add(outcome)
 
     # -- collection ------------------------------------------------------------------
 
     def add(self, outcome: ScenarioOutcome) -> None:
+        """Append one outcome and fold it into every aggregate index."""
         self.outcomes.append(outcome)
+        variant = outcome.scenario.variant_key()
+        method = outcome.scenario.method.strip().lower()
+        self._by_name.setdefault(outcome.scenario.name, outcome)
+        self._by_variant.setdefault(variant, []).append(outcome)
+        self._by_variant_method.setdefault((variant, method), outcome)
+        self._base_rows.append(_base_row(outcome))
+        self._variant_keys.append(variant)
+        self._aggregates.update(outcome)
+
+    def merge(self, other: "CampaignResult",
+              replace: bool = False) -> "CampaignResult":
+        """Fold another campaign's outcomes in (the re-plan primitive).
+
+        Outcomes for scenario names this campaign already has are skipped
+        unless ``replace`` (then the incoming outcome wins and the
+        indices are rebuilt).  Returns ``self``.
+        """
+        if replace:
+            incoming = {o.scenario.name: o for o in other.outcomes}
+            merged = [incoming.pop(o.scenario.name, o) for o in self.outcomes]
+            merged.extend(o for o in other.outcomes
+                          if o.scenario.name in incoming)
+            fresh = CampaignResult(merged, metadata=self.metadata)
+            self.__dict__.update(fresh.__dict__)
+            return self
+        for outcome in other.outcomes:
+            if outcome.scenario.name not in self._by_name:
+                self.add(outcome)
+        return self
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -129,14 +261,14 @@ class CampaignResult:
         return iter(self.outcomes)
 
     def outcome_for(self, name: str) -> ScenarioOutcome:
-        for outcome in self.outcomes:
-            if outcome.scenario.name == name:
-                return outcome
-        raise KeyError(f"no outcome for scenario {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no outcome for scenario {name!r}") from None
 
     @property
     def num_ok(self) -> int:
-        return sum(1 for o in self.outcomes if o.ok)
+        return self._aggregates.ok
 
     @property
     def failures(self) -> List[ScenarioOutcome]:
@@ -144,12 +276,14 @@ class CampaignResult:
 
     # -- aggregation -----------------------------------------------------------------
 
+    def aggregates(self) -> Dict[str, object]:
+        """Snapshot of the running per-method totals (streaming-safe)."""
+        return self._aggregates.snapshot()
+
     def by_variant(self) -> Dict[str, List[ScenarioOutcome]]:
         """Group outcomes by circuit+options identity (method varies within)."""
-        groups: Dict[str, List[ScenarioOutcome]] = {}
-        for outcome in self.outcomes:
-            groups.setdefault(outcome.scenario.variant_key(), []).append(outcome)
-        return groups
+        return {variant: list(group)
+                for variant, group in self._by_variant.items()}
 
     def rows(self, reference_method: Optional[str] = None) -> List[Dict[str, object]]:
         """Flatten into one comparison row per scenario.
@@ -159,37 +293,17 @@ class CampaignResult:
         reference) and ``max_err`` (maximum waveform deviation from the
         reference run of the same variant) columns, ``None`` where the
         reference is missing or failed -- the "NA" cells of Table I.
+
+        The static columns come from the per-outcome rows maintained by
+        :meth:`add`; only the two reference columns are computed here.
         """
-        references: Dict[str, ScenarioOutcome] = {}
-        if reference_method:
-            key = reference_method.strip().lower()
-            for variant, group in self.by_variant().items():
-                for outcome in group:
-                    if outcome.scenario.method.strip().lower() == key:
-                        references[variant] = outcome
-                        break
+        key = reference_method.strip().lower() if reference_method else None
         rows = []
-        for outcome in self.outcomes:
-            scenario = outcome.scenario
-            row: Dict[str, object] = {
-                "scenario": scenario.name,
-                "circuit": scenario.circuit.factory,
-                "method": outcome.summary.get("method", scenario.method),
-                "status": outcome.status,
-                "#N": outcome.structure.get("#N"),
-                "nnzC": outcome.structure.get("nnzC"),
-                "nnzG": outcome.structure.get("nnzG"),
-                "#step": outcome.summary.get("#step"),
-                "#NRa": outcome.summary.get("#NRa"),
-                "#ma": outcome.summary.get("#ma"),
-                "#LU": outcome.summary.get("#LU"),
-                "RT(s)": outcome.summary.get("RT(s)"),
-                "peak_factor_nnz": outcome.summary.get("peak_factor_nnz"),
-            }
-            for tag, value in scenario.tags.items():
-                row.setdefault(str(tag), value)
+        for outcome, base, variant in zip(self.outcomes, self._base_rows,
+                                          self._variant_keys):
+            row = dict(base)
             if reference_method:
-                reference = references.get(scenario.variant_key())
+                reference = self._by_variant_method.get((variant, key))
                 sp = None
                 err = None
                 if reference is not None and reference.ok and outcome.ok:

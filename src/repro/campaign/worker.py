@@ -1,0 +1,152 @@
+"""Standalone campaign worker: ``python -m repro.campaign.worker``.
+
+Connects to a :class:`~repro.campaign.backends.tcp.SocketBackend`
+coordinator, performs the protocol handshake, then executes scenarios it
+is handed until the coordinator says shutdown (or the connection drops).
+While a scenario is running, a daemon thread sends heartbeat pings so
+the coordinator can tell "busy on a long scenario" apart from "dead".
+
+Run one worker per core on each machine that should take part in a
+campaign::
+
+    python -m repro.campaign.worker --connect coordinator-host:7077
+
+The worker keeps the standard per-process assembly/DC caches of
+:mod:`repro.campaign.execution` warm across the scenarios it executes,
+exactly like a process-pool worker would.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+
+from repro.campaign.backends.base import ExecutionContext
+from repro.campaign.backends.tcp import (
+    PROTOCOL_VERSION,
+    recv_message,
+    send_message,
+)
+from repro.campaign.execution import execute_scenario
+
+__all__ = ["serve", "main"]
+
+
+def _parse_address(text: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _connect_with_retry(host: str, port: int,
+                        window: float) -> socket.socket:
+    """Dial the coordinator, retrying while ``window`` seconds last.
+
+    Workers are routinely started *before* the coordinator is listening
+    (the multi-host workflow launches one worker per core first, then
+    runs the campaign), so a refused connection means "not yet", not
+    "never".
+    """
+    deadline = time.monotonic() + window
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise ConnectionError(
+                    f"coordinator {host}:{port} unreachable for "
+                    f"{window:g}s: {exc}") from exc
+            time.sleep(0.5)
+
+
+def serve(host: str, port: int, heartbeat_interval: float = 1.0,
+          connect_window: float = 60.0) -> int:
+    """Connect to the coordinator and execute tasks until shutdown.
+
+    Returns the process exit code (0 on orderly shutdown, 1 on protocol
+    or transport failure).
+    """
+    try:
+        sock = _connect_with_retry(host, port, connect_window)
+    except ConnectionError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    sock.settimeout(None)
+    write_lock = threading.Lock()
+    busy = threading.Event()
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(heartbeat_interval):
+            if not busy.is_set():
+                continue
+            try:
+                send_message(sock, {"type": "ping"}, lock=write_lock)
+            except OSError:
+                return
+
+    pinger = threading.Thread(target=_heartbeat, daemon=True)
+    try:
+        send_message(sock, {"type": "hello", "pid": os.getpid(),
+                            "protocol": PROTOCOL_VERSION}, lock=write_lock)
+        welcome = recv_message(sock)
+        if welcome.get("type") != "welcome":
+            print(f"worker: handshake rejected: {welcome}", file=sys.stderr)
+            return 1
+        context = ExecutionContext.from_dict(welcome.get("context", {}))
+        pinger.start()
+        while True:
+            message = recv_message(sock)
+            kind = message.get("type")
+            if kind == "shutdown":
+                return 0
+            if kind != "task":
+                print(f"worker: unexpected message {kind!r}", file=sys.stderr)
+                return 1
+            busy.set()
+            try:
+                outcome = execute_scenario(
+                    message["scenario"], context.base_options,
+                    context.timeout, context.sample_points,
+                )
+            finally:
+                busy.clear()
+            send_message(sock, {"type": "result",
+                                "index": message["index"],
+                                "outcome": outcome}, lock=write_lock)
+    except (ConnectionError, OSError) as exc:
+        print(f"worker: connection lost: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign.worker",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to dial")
+    parser.add_argument("--heartbeat", type=float, default=1.0,
+                        help="seconds between busy-state heartbeat pings")
+    parser.add_argument("--connect-window", type=float, default=60.0,
+                        help="seconds to keep retrying the initial connection "
+                             "(workers may start before the coordinator)")
+    args = parser.parse_args(argv)
+    host, port = _parse_address(args.connect)
+    return serve(host, port, heartbeat_interval=args.heartbeat,
+                 connect_window=args.connect_window)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -133,6 +133,10 @@ class Integrator(ABC):
 
         breakpoints = [bp for bp in self.mna.breakpoints(opts.t_stop) if bp > t]
         breakpoints.append(opts.t_stop)
+        # index cursor over the (sorted) breakpoint list: popping from the
+        # head of a Python list is O(n) per pop, which made many-breakpoint
+        # PWL drives quadratic in the breakpoint count
+        bp_cursor = 0
 
         result.start_clock()
         result.record_point(t, x)
@@ -141,9 +145,11 @@ class Integrator(ABC):
         t_eps = 1e-12 * span
         try:
             while t < opts.t_stop - t_eps:
-                while breakpoints and breakpoints[0] <= t + t_eps:
-                    breakpoints.pop(0)
-                next_stop = breakpoints[0] if breakpoints else opts.t_stop
+                while bp_cursor < len(breakpoints) and \
+                        breakpoints[bp_cursor] <= t + t_eps:
+                    bp_cursor += 1
+                next_stop = breakpoints[bp_cursor] if bp_cursor < len(breakpoints) \
+                    else opts.t_stop
                 h = min(h_next, h_max, next_stop - t, opts.t_stop - t)
                 h = max(h, min(h_min, next_stop - t))
 

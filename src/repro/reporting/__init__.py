@@ -2,6 +2,7 @@
 
 from repro.reporting.tables import format_table, table1_rows, render_table1
 from repro.reporting.campaign_tables import (
+    DETERMINISTIC_COLUMNS,
     campaign_rows,
     render_campaign_table,
     render_method_matrix,
@@ -25,6 +26,7 @@ __all__ = [
     "campaign_rows",
     "render_campaign_table",
     "render_method_matrix",
+    "DETERMINISTIC_COLUMNS",
     "Figure1Report",
     "figure1_nnz_report",
     "Figure2Report",

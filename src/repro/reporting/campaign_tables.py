@@ -16,12 +16,27 @@ from typing import Dict, List, Optional, Sequence
 from repro.campaign.store import CampaignResult, ScenarioOutcome
 from repro.reporting.tables import format_table
 
-__all__ = ["campaign_rows", "render_campaign_table", "render_method_matrix"]
+__all__ = [
+    "campaign_rows",
+    "render_campaign_table",
+    "render_method_matrix",
+    "DEFAULT_COLUMNS",
+    "DETERMINISTIC_COLUMNS",
+]
 
 #: default per-scenario columns of :func:`render_campaign_table`
 DEFAULT_COLUMNS = (
     "scenario", "circuit", "method", "status", "#N", "nnzC", "nnzG",
     "#step", "#NRa", "#ma", "#LU", "RT(s)", "peak_factor_nnz",
+)
+
+#: the scheduling-independent subset: identical between any two
+#: executions of the same scenarios (no wall-clock columns), so tables
+#: rendered with these columns are byte-identical across backends,
+#: interruptions and resumes
+DETERMINISTIC_COLUMNS = (
+    "scenario", "circuit", "method", "status", "#N", "nnzC", "nnzG",
+    "#step", "#NRa", "#ma", "#LU", "peak_factor_nnz",
 )
 
 

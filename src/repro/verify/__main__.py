@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro.verify``.
 
-Two subcommands, selectable by flag:
+Three subcommands, selectable by flag:
 
 ``--matrix``
     Run the differential verification matrix (every registered
@@ -8,11 +8,19 @@ Two subcommands, selectable by flag:
     and exit nonzero on any oracle/golden/invariant violation.  With
     ``--regenerate`` the golden store is rewritten from this run
     (refusing to widen tolerance bands unless ``--allow-widen``).
+    ``--backend`` picks the campaign execution backend (serial, process
+    pool or socket workers); ``--journal``/``--resume`` stream the
+    campaign to a resumable JSONL journal.
 
 ``--perf-check``
     Gate a ``BENCH_hotpath.json`` payload against the tracked steps/sec
     history (median of the same machine's previous runs), then append
     the run to the history.  Exits nonzero on a >threshold regression.
+
+``--prune-orphans``
+    List goldens whose content-hash key no currently-planned matrix
+    scenario produces (the debris of re-parameterizing a family), and
+    delete them with ``--yes``.  Dry-run by default.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from pathlib import Path
 from repro.verify.matrix import (
     DEFAULT_GOLDEN_ROOT,
     DEFAULT_GOLDEN_TOLERANCE,
+    planned_golden_keys,
     run_matrix,
 )
 from repro.verify.perf import (
@@ -48,6 +57,9 @@ def _run_matrix(args: argparse.Namespace) -> int:
         regenerate=args.regenerate,
         allow_widen=args.allow_widen,
         golden_tolerance=args.golden_tolerance,
+        backend=args.backend,
+        journal=args.journal,
+        resume=args.resume,
     )
     print(render_verify_report(report))
     if args.json:
@@ -61,6 +73,23 @@ def _run_matrix(args: argparse.Namespace) -> int:
                   f"{check.detail or check.max_err}", file=sys.stderr)
         return 1
     print("0 violations")
+    return 0
+
+
+def _run_prune_orphans(args: argparse.Namespace) -> int:
+    from repro.verify.golden import GoldenStore
+
+    store = GoldenStore(args.goldens)
+    live = planned_golden_keys()
+    verb = "deleted" if args.yes else "orphaned"
+    orphans = store.prune_orphans(live, delete=args.yes)
+    for key in orphans:
+        print(f"{verb}: {key}")
+    print(f"{len(orphans)} goldens {verb} under {store.root} "
+          f"({len(store.keys())} remain, {len(live)} keys in the current "
+          f"matrix plan)")
+    if orphans and not args.yes:
+        print("dry run: pass --yes to delete")
     return 0
 
 
@@ -85,14 +114,26 @@ def main(argv=None) -> int:
                         help="run the differential verification matrix")
     action.add_argument("--perf-check", action="store_true",
                         help="gate a BENCH_hotpath.json against the perf history")
+    action.add_argument("--prune-orphans", action="store_true",
+                        help="list goldens no planned scenario produces "
+                             "(dry run; --yes deletes them)")
 
     matrix = parser.add_argument_group("matrix options")
     matrix.add_argument("--smoke", action="store_true",
                         help="small circuit sizes / short horizons (CI push job)")
     matrix.add_argument("--mode", choices=("auto", "serial", "process"),
-                        default="auto", help="campaign execution mode")
+                        default="auto", help="campaign execution mode (legacy; "
+                                             "--backend wins when both given)")
+    matrix.add_argument("--backend",
+                        choices=("serial", "process", "pool", "socket"),
+                        default=None,
+                        help="campaign execution backend")
     matrix.add_argument("--workers", type=int, default=None,
                         help="campaign pool size (default: one per core)")
+    matrix.add_argument("--journal", type=Path, default=None,
+                        help="stream campaign outcomes to this JSONL journal")
+    matrix.add_argument("--resume", action="store_true",
+                        help="replay the journal and run only missing scenarios")
     matrix.add_argument("--goldens", type=Path, default=DEFAULT_GOLDEN_ROOT,
                         help="golden-trajectory store root")
     matrix.add_argument("--no-goldens", action="store_true",
@@ -120,9 +161,15 @@ def main(argv=None) -> int:
     perf.add_argument("--no-record", action="store_true",
                       help="check only; do not append this run to the history")
 
+    prune = parser.add_argument_group("prune-orphans options")
+    prune.add_argument("--yes", action="store_true",
+                       help="actually delete the orphaned goldens")
+
     args = parser.parse_args(argv)
     if args.matrix:
         return _run_matrix(args)
+    if args.prune_orphans:
+        return _run_prune_orphans(args)
     return _run_perf_check(args)
 
 

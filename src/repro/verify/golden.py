@@ -106,6 +106,34 @@ class GoldenStore:
             return []
         return sorted(p.stem for p in self.root.glob("*.npz"))
 
+    # -- pruning ------------------------------------------------------------------
+
+    def orphans(self, live_keys) -> List[str]:
+        """Stored keys no currently-planned scenario produces.
+
+        Goldens are keyed by scenario content hash, so re-parameterizing
+        a family silently orphans its old files; ``live_keys`` is the set
+        of hashes the current plan would write.
+        """
+        live = set(live_keys)
+        return [key for key in self.keys() if key not in live]
+
+    def prune_orphans(self, live_keys, delete: bool = False) -> List[str]:
+        """List (and with ``delete=True`` remove) orphaned goldens.
+
+        Returns the orphaned keys.  Dry-run by default: nothing is
+        touched unless ``delete`` is explicitly set -- deleting reviewed
+        reference data must be a deliberate act.
+        """
+        orphans = self.orphans(live_keys)
+        if delete:
+            for key in orphans:
+                for suffix in (".npz", ".json"):
+                    path = self.root / f"{key}{suffix}"
+                    if path.exists():
+                        path.unlink()
+        return orphans
+
     # -- persistence ------------------------------------------------------------------
 
     def save(

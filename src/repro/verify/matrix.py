@@ -54,6 +54,7 @@ __all__ = [
     "VerifyReport",
     "matrix_scenarios",
     "oracle_scenarios",
+    "planned_golden_keys",
     "run_matrix",
     "MATRIX_METHODS",
     "MATRIX_FAMILIES",
@@ -240,6 +241,20 @@ def oracle_scenarios(smoke: bool = False) -> List[Tuple[Scenario, Oracle]]:
             )
             pairs.append((scenario, oracle))
     return pairs
+
+
+def planned_golden_keys() -> List[str]:
+    """Content hashes of every golden the current matrix plan produces.
+
+    The golden store is written from the matrix campaign at both sizes
+    (``--smoke`` on push CI, full nightly), so the live key set is the
+    union of the two plans.  Anything else in ``goldens/`` is an orphan
+    left behind by a re-parameterization (see ``--prune-orphans``).
+    """
+    keys = []
+    for smoke in (True, False):
+        keys.extend(s.content_hash() for s in matrix_scenarios(smoke=smoke))
+    return sorted(set(keys))
 
 
 # -- check passes ---------------------------------------------------------------------------
@@ -496,18 +511,26 @@ def run_matrix(
     golden_tolerance: float = DEFAULT_GOLDEN_TOLERANCE,
     timeout: Optional[float] = 300.0,
     sample_points: int = DEFAULT_SAMPLE_POINTS,
+    backend=None,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> VerifyReport:
     """Run the full differential verification matrix.
 
     Returns the :class:`VerifyReport`; ``report.ok`` is the gate.  With
     ``regenerate`` the golden store is rewritten from this run instead
     of checked (refusing tolerance widening unless ``allow_widen``).
+    ``backend`` picks the campaign execution backend (name or
+    :class:`~repro.campaign.backends.base.ExecutionBackend` instance;
+    overrides ``mode``); ``journal``/``resume`` stream the matrix
+    campaign's outcomes to a resumable JSONL journal.
     """
     scenarios = matrix_scenarios(smoke=smoke)
     oracle_pairs = oracle_scenarios(smoke=smoke)
     campaign = run_campaign(
         scenarios, mode=mode, workers=workers, timeout=timeout,
-        sample_points=sample_points,
+        sample_points=sample_points, backend=backend,
+        journal=journal, resume=resume,
     )
 
     report = VerifyReport(metadata={

@@ -1,0 +1,290 @@
+"""Backend-contract test suite: every execution backend, one contract.
+
+The same scenario list must produce identical deterministic outcomes
+(statistics and waveform samples) through the serial loop, the process
+pool and the socket transport; timeouts and failures must be captured,
+not propagated; and the socket backend must survive worker death by
+re-dispatching the in-flight scenario.
+"""
+
+import socket as socket_module
+
+import pytest
+
+from repro.campaign import (
+    CircuitSpec,
+    ExecutionBackend,
+    ExecutionContext,
+    ProcessPoolBackend,
+    Scenario,
+    SerialBackend,
+    SocketBackend,
+    grid_sweep,
+    resolve_backend,
+    run_campaign,
+)
+from repro.campaign.backends.tcp import recv_message, send_message
+from repro.core.options import SimOptions
+
+FAST_OPTIONS = SimOptions(t_stop=0.1e-9, h_init=2e-12, store_states=False)
+
+BACKEND_NAMES = ("serial", "process", "socket")
+
+
+def make_backend(name: str) -> ExecutionBackend:
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(workers=2)
+    return SocketBackend(workers=2, heartbeat_timeout=30.0, accept_timeout=30.0)
+
+
+def small_scenarios(methods=("benr", "er"), budgets=(1e-3, 1e-4)):
+    return grid_sweep(
+        circuits=[("rc_mesh", {"rows": 4, "cols": 4, "coupling_fraction": 0.5})],
+        methods=list(methods),
+        option_grid={"err_budget": list(budgets)},
+        observe=["n2_2"],
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The determinism oracle every other backend is held against."""
+    return run_campaign(small_scenarios(), base_options=FAST_OPTIONS,
+                        backend=SerialBackend())
+
+
+class TestBackendContract:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_same_scenarios_same_outcomes(self, name, serial_reference):
+        campaign = run_campaign(small_scenarios(), base_options=FAST_OPTIONS,
+                                backend=make_backend(name))
+        assert campaign.metadata["mode"] == name
+        assert campaign.num_ok == len(serial_reference)
+        for a, b in zip(serial_reference, campaign):
+            assert a.scenario.name == b.scenario.name
+            assert a.deterministic_summary() == b.deterministic_summary(), \
+                b.scenario.name
+            assert a.samples == b.samples, b.scenario.name
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_failure_capture(self, name):
+        scenarios = [
+            Scenario(name="bad",
+                     circuit=CircuitSpec("rc_ladder", {"num_segments": 0})),
+            Scenario(name="good",
+                     circuit=CircuitSpec("rc_ladder", {"num_segments": 3})),
+        ]
+        campaign = run_campaign(scenarios, base_options=FAST_OPTIONS,
+                                backend=make_backend(name))
+        assert campaign.outcome_for("bad").status == "error"
+        assert "segment" in campaign.outcome_for("bad").error
+        assert campaign.outcome_for("good").status == "ok"
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_timeout_capture(self, name):
+        slow = Scenario(
+            name="slow",
+            circuit=CircuitSpec("rc_mesh", {"rows": 6, "cols": 6}),
+            method="benr",
+            # force thousands of tiny steps so the scenario cannot finish
+            options={"t_stop": 1e-9, "h_init": 1e-14, "h_max": 1e-14},
+        )
+        fast = Scenario(
+            name="fast",
+            circuit=CircuitSpec("rc_ladder", {"num_segments": 3}),
+            method="er", options={"t_stop": 0.05e-9},
+        )
+        campaign = run_campaign([slow, fast], backend=make_backend(name),
+                                timeout=0.2)
+        outcome = campaign.outcome_for("slow")
+        assert outcome.status == "timeout"
+        assert "timeout" in outcome.error
+        assert campaign.outcome_for("fast").status == "ok"
+
+
+class TestSocketFaultTolerance:
+    def test_worker_death_redispatches_scenario(self, tmp_path):
+        """A worker that dies mid-scenario must not lose the scenario:
+        another worker picks it up (the flag file makes the crash
+        one-shot) and the campaign still completes everything."""
+        flag = tmp_path / "crash.flag"
+        scenarios = [
+            Scenario(
+                name="killer",
+                circuit=CircuitSpec("die_once", {"flag_path": str(flag)},
+                                    module="_campaign_death_factory"),
+                method="er", options={"t_stop": 0.05e-9},
+            ),
+            Scenario(
+                name="bystander",
+                circuit=CircuitSpec("rc_ladder", {"num_segments": 3}),
+                method="er", options={"t_stop": 0.05e-9},
+            ),
+        ]
+        backend = SocketBackend(workers=2, heartbeat_timeout=30.0,
+                                accept_timeout=30.0)
+        campaign = run_campaign(scenarios, backend=backend)
+        assert flag.exists(), "the crash factory never fired"
+        assert campaign.outcome_for("killer").status == "ok"
+        assert campaign.outcome_for("bystander").status == "ok"
+
+    def test_scenario_that_kills_every_worker_becomes_error(self, tmp_path):
+        """Re-dispatch is bounded: with max_attempts=1 the first death
+        already exhausts the budget and the scenario is delivered as an
+        error outcome instead of cycling through workers forever."""
+        scenarios = [
+            Scenario(
+                name="fatal",
+                circuit=CircuitSpec(
+                    "die_once",
+                    {"flag_path": str(tmp_path / "x.flag"), "always": True},
+                    module="_campaign_death_factory"),
+                method="er", options={"t_stop": 0.05e-9},
+            ),
+        ]
+        backend = SocketBackend(workers=1, heartbeat_timeout=30.0,
+                                accept_timeout=5.0, max_attempts=1)
+        campaign = run_campaign(scenarios, backend=backend)
+        outcome = campaign.outcome_for("fatal")
+        assert outcome.status == "error"
+        assert "died" in outcome.error or "workers" in outcome.error
+
+
+class TestWorkerStartupOrder:
+    def test_worker_started_before_coordinator_retries_and_connects(self):
+        """The multi-host workflow starts workers first: a worker dialing
+        a port nobody listens on yet must retry inside its connect
+        window instead of dying with ConnectionRefusedError."""
+        import os
+        import subprocess
+        import sys
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        worker = subprocess.Popen(
+            [sys.executable, "-m", "repro.campaign.worker",
+             "--connect", f"127.0.0.1:{port}", "--connect-window", "60"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            scenarios = small_scenarios(methods=("er",), budgets=(1e-3,))
+            backend = SocketBackend(port=port, spawn=False,
+                                    heartbeat_timeout=30.0,
+                                    accept_timeout=60.0)
+            campaign = run_campaign(scenarios, base_options=FAST_OPTIONS,
+                                    backend=backend)
+            assert campaign.num_ok == len(scenarios)
+            assert worker.wait(timeout=10) == 0
+        finally:
+            if worker.poll() is None:
+                worker.kill()
+
+
+class TestSocketProtocol:
+    def test_handshake_task_result_cycle_and_protocol_rejection(self):
+        """Drive the coordinator by hand: a wrong-protocol client is
+        turned away with an error message; a well-behaved client gets
+        the welcome (carrying the campaign context), a task, and -- after
+        returning the result -- a shutdown."""
+        import threading
+        import time
+
+        from repro.campaign.execution import execute_scenario
+
+        backend = SocketBackend(spawn=False, heartbeat_timeout=30.0,
+                                accept_timeout=30.0)
+        scenario = small_scenarios(methods=("er",), budgets=(1e-3,))[0]
+        context = ExecutionContext(base_options=FAST_OPTIONS.to_dict(),
+                                   sample_points=21)
+        delivered = {}
+        runner = threading.Thread(
+            target=backend.execute,
+            args=([(0, scenario.to_dict())], context,
+                  lambda index, data: delivered.update({index: data})),
+            daemon=True,
+        )
+        runner.start()
+        while backend.address is None:
+            time.sleep(0.01)
+
+        # (1) wrong protocol version: polite error, connection unusable
+        bad = socket_module.create_connection(backend.address, timeout=10.0)
+        try:
+            send_message(bad, {"type": "hello", "pid": 1, "protocol": 999})
+            assert recv_message(bad).get("type") == "error"
+        finally:
+            bad.close()
+
+        # (2) proper worker: welcome -> task -> result -> shutdown
+        good = socket_module.create_connection(backend.address, timeout=30.0)
+        try:
+            send_message(good, {"type": "hello", "pid": 2, "protocol": 1})
+            welcome = recv_message(good)
+            assert welcome["type"] == "welcome"
+            ctx = ExecutionContext.from_dict(welcome["context"])
+            assert ctx.sample_points == 21
+            task = recv_message(good)
+            assert task["type"] == "task" and task["index"] == 0
+            outcome = execute_scenario(task["scenario"], ctx.base_options,
+                                       ctx.timeout, ctx.sample_points)
+            send_message(good, {"type": "result", "index": 0,
+                                "outcome": outcome})
+            assert recv_message(good).get("type") == "shutdown"
+        finally:
+            good.close()
+        runner.join(timeout=30.0)
+        assert not runner.is_alive()
+        assert delivered[0]["status"] == "ok"
+
+    def test_framing_round_trip(self):
+        server, client = socket_module.socketpair()
+        try:
+            message = {"type": "task", "index": 3,
+                       "scenario": {"name": "s", "nested": [1, 2.5, "x"]}}
+            send_message(client, message)
+            assert recv_message(server) == message
+        finally:
+            server.close()
+            client.close()
+
+
+class TestResolveBackend:
+    def test_names(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("process"), ProcessPoolBackend)
+        assert isinstance(resolve_backend("pool"), ProcessPoolBackend)
+        assert isinstance(resolve_backend("socket"), SocketBackend)
+
+    def test_auto_picks_serial_for_one_scenario(self):
+        assert isinstance(resolve_backend("auto", num_scenarios=1), SerialBackend)
+
+    def test_auto_picks_pool_for_many(self):
+        backend = resolve_backend("auto", workers=4, num_scenarios=10)
+        assert isinstance(backend, ProcessPoolBackend)
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("quantum")
+
+    def test_run_campaign_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_campaign(small_scenarios(), mode="warp")
+
+
+class TestExecutionContext:
+    def test_round_trip(self):
+        context = ExecutionContext(base_options=FAST_OPTIONS.to_dict(),
+                                   timeout=1.5, sample_points=42)
+        restored = ExecutionContext.from_dict(context.to_dict())
+        assert restored == context

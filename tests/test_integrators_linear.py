@@ -203,3 +203,61 @@ class TestGearAndTrapezoidalAgreement:
         for method in ("trap", "gear2"):
             result = simulate(ckt, method, t_stop=2e-9, h_init=1e-12)
             assert result.voltage("out")[-1] == pytest.approx(exact, abs=2e-3), method
+
+
+class TestManyBreakpointPWL:
+    """Regression guard for the time loop's breakpoint handling.
+
+    The loop used to pop consumed breakpoints from the head of a Python
+    list -- O(n) per step, O(n^2) per run -- which made densely sampled
+    PWL drives (measured waveforms replayed as sources) quadratically
+    expensive.  The cursor-based loop must honor the exact same stepping
+    contract: no accepted step may straddle a slope discontinuity
+    (the Eq. 13 piecewise-linear input assumption)."""
+
+    NUM_POINTS = 400
+
+    def build(self, t_stop):
+        # a sawtooth sampled at NUM_POINTS points: every interior point is
+        # a genuine slope discontinuity the controller must land on
+        pts = [(i * t_stop / self.NUM_POINTS,
+                float(i % 2))
+               for i in range(self.NUM_POINTS + 1)]
+        ckt = Circuit("many_bp")
+        ckt.add_vsource("Vin", "in", "0", PWL(pts))
+        ckt.add_resistor("R1", "in", "out", 1000.0)
+        ckt.add_capacitor("C1", "out", "0", 1e-12)
+        return ckt
+
+    @pytest.mark.parametrize("method", ["benr", "er"])
+    def test_no_step_straddles_a_breakpoint(self, method):
+        t_stop = 2e-9
+        ckt = self.build(t_stop)
+        mna = ckt.build()
+        breakpoints = mna.breakpoints(t_stop)
+        assert len(breakpoints) >= self.NUM_POINTS - 1
+        result = simulate(ckt, method, t_stop=t_stop, h_init=1e-11)
+        assert result.stats.completed, result.stats.failure_reason
+        times = result.time_array
+        assert times[-1] == pytest.approx(t_stop, rel=1e-9)
+        # every breakpoint must coincide with an accepted time point --
+        # a step interval strictly containing one would violate the
+        # piecewise-linear stepping contract the old code enforced
+        eps = 1e-12 * t_stop
+        inside = np.searchsorted(times, np.asarray(breakpoints))
+        for bp, idx in zip(breakpoints, inside):
+            nearest = min(abs(times[max(idx - 1, 0)] - bp),
+                          abs(times[min(idx, len(times) - 1)] - bp))
+            assert nearest <= eps, f"breakpoint {bp:g} not hit (method {method})"
+
+    def test_breakpoint_consumption_is_linear_time(self):
+        """The loop touches each breakpoint O(1) times: the number of
+        accepted steps stays within a small multiple of the breakpoint
+        count (the quadratic version still passed this, but the step
+        count is the observable that would explode if the cursor ever
+        re-scanned consumed breakpoints and re-clipped against them)."""
+        t_stop = 2e-9
+        ckt = self.build(t_stop)
+        result = simulate(ckt, "er", t_stop=t_stop, h_init=1e-11)
+        assert result.stats.completed
+        assert result.stats.num_steps <= 3 * self.NUM_POINTS

@@ -1,0 +1,113 @@
+"""Golden-store orphan pruning tests (``python -m repro.verify --prune-orphans``)."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import CircuitSpec, Scenario
+from repro.verify.golden import GoldenStore
+
+
+def family_scenarios(num_segments: int, methods=("benr", "er")):
+    """A tiny 'family': one circuit parameterization, several methods."""
+    return [
+        Scenario(
+            name=f"fam/seg{num_segments}/{method}",
+            circuit=CircuitSpec("rc_ladder", {"num_segments": num_segments}),
+            method=method,
+            options={"t_stop": 1e-10},
+            observe=["n1"],
+        )
+        for method in methods
+    ]
+
+
+def save_goldens(store, scenarios):
+    times = np.linspace(0.0, 1e-10, 11)
+    for scenario in scenarios:
+        store.save(scenario, times, {"n1": np.zeros_like(times)},
+                   tolerance=1e-5)
+
+
+class TestPruneOrphans:
+    def test_reparameterization_orphans_exactly_the_old_keys(self, tmp_path):
+        """Re-parameterizing a family (num_segments 4 -> 6) orphans the
+        old parameterization's goldens and nothing else."""
+        store = GoldenStore(tmp_path / "goldens")
+        old = family_scenarios(num_segments=4)
+        kept = family_scenarios(num_segments=8)
+        save_goldens(store, old + kept)
+        assert len(store.keys()) == 4
+
+        new_plan = family_scenarios(num_segments=6) + kept
+        live = [s.content_hash() for s in new_plan]
+        orphans = store.orphans(live)
+        assert sorted(orphans) == sorted(s.content_hash() for s in old)
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = GoldenStore(tmp_path / "goldens")
+        save_goldens(store, family_scenarios(num_segments=4))
+        orphans = store.prune_orphans(live_keys=[])
+        assert len(orphans) == 2
+        assert len(store.keys()) == 2, "dry run must not touch files"
+
+    def test_delete_removes_npz_and_sidecar(self, tmp_path):
+        store = GoldenStore(tmp_path / "goldens")
+        old = family_scenarios(num_segments=4)
+        kept = family_scenarios(num_segments=8)
+        save_goldens(store, old + kept)
+        live = [s.content_hash() for s in kept]
+        deleted = store.prune_orphans(live, delete=True)
+        assert sorted(deleted) == sorted(s.content_hash() for s in old)
+        assert sorted(store.keys()) == sorted(live)
+        for key in deleted:
+            assert not (store.root / f"{key}.npz").exists()
+            assert not (store.root / f"{key}.json").exists()
+        # the kept goldens still load
+        samples, meta = store.load(kept[0])
+        assert "n1" in samples
+
+    def test_rename_does_not_orphan(self, tmp_path):
+        """Scenario names are outside the content hash: renaming a sweep
+        must not orphan its goldens."""
+        store = GoldenStore(tmp_path / "goldens")
+        scenarios = family_scenarios(num_segments=4)
+        save_goldens(store, scenarios)
+        renamed = [Scenario.from_dict({**s.to_dict(), "name": f"new/{i}"})
+                   for i, s in enumerate(scenarios)]
+        live = [s.content_hash() for s in renamed]
+        assert store.orphans(live) == []
+
+    def test_empty_store(self, tmp_path):
+        store = GoldenStore(tmp_path / "nonexistent")
+        assert store.prune_orphans(live_keys=["abc"], delete=True) == []
+
+
+class TestPruneCLI:
+    def test_committed_goldens_are_all_live(self):
+        """The repo's checked-in goldens must match the current matrix
+        plan exactly -- otherwise a re-parameterization forgot to prune."""
+        from repro.verify.golden import GoldenStore as Store
+        from repro.verify.matrix import DEFAULT_GOLDEN_ROOT, planned_golden_keys
+
+        store = Store(DEFAULT_GOLDEN_ROOT)
+        if not store.keys():
+            pytest.skip("no goldens committed")
+        assert store.orphans(planned_golden_keys()) == []
+
+    def test_cli_dry_run_and_delete(self, tmp_path, capsys):
+        from repro.verify.__main__ import main
+
+        store = GoldenStore(tmp_path / "goldens")
+        save_goldens(store, family_scenarios(num_segments=4))
+        code = main(["--prune-orphans", "--goldens", str(store.root)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 goldens orphaned" in out
+        assert "dry run" in out
+        assert len(store.keys()) == 2
+
+        code = main(["--prune-orphans", "--goldens", str(store.root), "--yes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 goldens deleted" in out
+        assert store.keys() == []

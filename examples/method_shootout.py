@@ -28,7 +28,7 @@ import os
 from pathlib import Path
 
 from repro import SimOptions
-from repro.campaign import grid_sweep, run_campaign
+from repro.campaign import BACKEND_NAMES, grid_sweep, run_campaign
 from repro.reporting import render_campaign_table, render_method_matrix
 
 
@@ -55,7 +55,7 @@ def main() -> int:
                         help="tiny run for CI smoke testing (serial unless "
                              "--backend is given)")
     parser.add_argument("--backend",
-                        choices=("auto", "serial", "process", "pool", "socket"),
+                        choices=("auto", *BACKEND_NAMES),
                         default=None,
                         help="execution backend (default: serial when --smoke, "
                              "auto otherwise)")

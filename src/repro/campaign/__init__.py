@@ -61,6 +61,7 @@ from repro.campaign.backends import (
     ExecutionBackend,
     ExecutionContext,
     ProcessPoolBackend,
+    QueueBackend,
     SerialBackend,
     SocketBackend,
     resolve_backend,
@@ -68,7 +69,14 @@ from repro.campaign.backends import (
 from repro.campaign.cache import ResultCache, context_hash
 from repro.campaign.journal import CampaignJournal, JournalContextError
 from repro.campaign.runner import default_workers, execute_scenario, run_campaign
-from repro.campaign.schedule import RuntimeModel, plan_schedule
+from repro.campaign.schedule import (
+    RuntimeModel,
+    append_history,
+    history_path_for,
+    load_history,
+    plan_schedule,
+    save_history,
+)
 from repro.campaign.store import (
     DETERMINISTIC_SUMMARY_KEYS,
     CampaignResult,
@@ -83,6 +91,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "SocketBackend",
+    "QueueBackend",
     "resolve_backend",
     "ResultCache",
     "context_hash",
@@ -90,6 +99,10 @@ __all__ = [
     "JournalContextError",
     "RuntimeModel",
     "plan_schedule",
+    "append_history",
+    "history_path_for",
+    "load_history",
+    "save_history",
     "IncrementalAggregates",
     "CircuitSpec",
     "Scenario",

@@ -10,7 +10,12 @@ three transports:
 * :class:`~repro.campaign.backends.tcp.SocketBackend` -- length-prefixed
   JSON over TCP to ``python -m repro.campaign.worker`` processes, local
   or remote, with heartbeat monitoring and automatic re-dispatch of
-  scenarios from dead workers.
+  scenarios from dead workers;
+* :class:`~repro.campaign.backends.queue.QueueBackend` -- durable jobs
+  on a :class:`~repro.service.broker.JobBroker` queue, executed by
+  ``python -m repro.service worker`` processes that attach to the broker
+  and persist across campaigns (lease expiry redelivers the jobs of
+  crashed workers).
 
 :func:`resolve_backend` maps the user-facing names (including the
 legacy ``mode`` strings) to instances.
@@ -31,6 +36,7 @@ from repro.campaign.backends.local import (
     SerialBackend,
     default_workers,
 )
+from repro.campaign.backends.queue import QueueBackend
 from repro.campaign.backends.tcp import SocketBackend
 
 __all__ = [
@@ -39,6 +45,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "SocketBackend",
+    "QueueBackend",
     "resolve_backend",
     "default_workers",
     "BACKEND_NAMES",
@@ -48,7 +55,7 @@ __all__ = [
 
 #: user-facing backend names accepted by :func:`resolve_backend` (and the
 #: CLIs); "pool" is an alias for "process"
-BACKEND_NAMES = ("serial", "process", "pool", "socket")
+BACKEND_NAMES = ("serial", "process", "pool", "socket", "queue")
 
 
 def resolve_backend(
@@ -83,6 +90,8 @@ def resolve_backend(
         return ProcessPoolBackend(workers=workers)
     if name == "socket":
         return SocketBackend(workers=workers)
+    if name == "queue":
+        return QueueBackend(workers=workers)
     raise ValueError(
         f"unknown backend {backend!r}; expected auto|{'|'.join(BACKEND_NAMES)} "
         f"or an ExecutionBackend instance"

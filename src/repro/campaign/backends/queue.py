@@ -1,0 +1,245 @@
+"""Broker-backed execution: the ``QueueBackend``.
+
+Where the socket coordinator *owns* its workers for the duration of one
+campaign, the queue backend owns nothing: it enqueues each scenario as a
+durable job on a :class:`~repro.service.broker.JobBroker` (a SQLite
+file any process can attach to), then simply polls for results.  Workers
+-- spawned locally by default, or long-lived ``python -m repro.service
+worker`` processes attached to a shared service data directory -- lease
+jobs, execute them and ack the outcomes; they can come and go **across**
+campaigns, which is exactly the ROADMAP follow-up the socket transport
+could not satisfy.
+
+Job identity is the scenario content hash + the campaign context hash --
+the same key as the result cache -- so two campaigns sharing one broker
+never enqueue the same work twice, and the HTTP front end's coalescing
+(:mod:`repro.service.coalesce`) composes with campaigns for free.
+
+Fault model
+-----------
+* A worker that crashes mid-job stops extending its lease; the job's
+  visibility timeout expires and the broker **redelivers** it to the
+  next worker that asks, at most ``max_attempts`` times in total -- a
+  poison job is failed by the broker, and the backend converts it into
+  an error outcome for its scenario.
+* If the spawned fleet has exited (or, with ``spawn=False``, no external
+  worker has made progress for ``idle_timeout`` seconds), the remaining
+  scenarios are delivered as error outcomes: the campaign finishes,
+  degraded, rather than hanging on an empty queue.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.campaign.backends._spawn import (
+    spawn_module_worker,
+    terminate_workers,
+    worker_stderr_tail,
+)
+from repro.campaign.backends.base import (
+    DeliverFn,
+    ExecutionBackend,
+    ExecutionContext,
+    WorkItem,
+)
+from repro.campaign.backends.local import default_workers
+from repro.campaign.cache import context_hash
+from repro.campaign.scenario import scenario_hash
+
+__all__ = ["QueueBackend", "job_id_for"]
+
+
+def job_id_for(payload: Dict[str, object], context: ExecutionContext) -> str:
+    """The broker job id of one work item: scenario hash + context hash.
+
+    Identical to the :class:`~repro.campaign.cache.ResultCache` entry
+    key, so a job id can be answered from the cache and a cache entry
+    can satisfy a job -- the property the service's coalescing layer is
+    built on.  The per-scenario timeout is execution policy and is
+    deliberately outside the hash (as it is for the cache).
+    """
+    return f"{scenario_hash(payload)}-" + context_hash(
+        context.base_options, context.sample_points)
+
+
+class QueueBackend(ExecutionBackend):
+    """Execute scenarios as durable jobs on a :class:`JobBroker`."""
+
+    name = "queue"
+
+    def __init__(
+        self,
+        broker: Union[str, Path, "JobBroker", None] = None,
+        data_dir: Union[str, Path, None] = None,
+        workers: Optional[int] = None,
+        spawn: bool = True,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+        poll_interval: float = 0.05,
+        idle_timeout: float = 60.0,
+    ):
+        self.broker = broker
+        self.data_dir = data_dir
+        self.workers = workers
+        self.spawn = spawn
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.poll_interval = float(poll_interval)
+        self.idle_timeout = float(idle_timeout)
+        self._resolved_workers = workers
+        self._broker_path: Optional[str] = None
+        # data-dir workers consult the shared cache AND append runtime
+        # records to its history file themselves; the runner must not
+        # append a second record per scenario
+        self.records_history = data_dir is not None
+
+    def _resolve_broker(self, tmp_root: Optional[Path]):
+        from repro.service import layout
+        from repro.service.broker import JobBroker
+
+        if isinstance(self.broker, JobBroker):
+            return self.broker
+        if self.broker is not None:
+            return JobBroker(self.broker, max_attempts=self.max_attempts)
+        root = Path(self.data_dir) if self.data_dir is not None else tmp_root
+        return JobBroker(layout.broker_path(root),
+                         max_attempts=self.max_attempts)
+
+    def execute(self, items: Sequence[WorkItem], context: ExecutionContext,
+                deliver: DeliverFn) -> None:
+        items = list(items)
+        if not items:
+            return
+        # a self-contained campaign (no broker/data dir given) brokers
+        # through a throwaway directory that vanishes with the run
+        tmp_root: Optional[Path] = None
+        if self.broker is None and self.data_dir is None:
+            tmp_root = Path(tempfile.mkdtemp(prefix="repro-queue-"))
+        broker = self._resolve_broker(tmp_root)
+        self._broker_path = str(broker.path)
+        context_data = context.to_dict()
+        payload_by_index = {index: payload for index, payload in items}
+
+        #: job id -> plan indices it answers (identical content coalesces)
+        indices_by_job: Dict[str, List[int]] = {}
+        #: job ids that already lived in the broker (another campaign's
+        #: work, finished or in flight): their outcomes are adoptions
+        adopted_jobs = set()
+        for position, (index, payload) in enumerate(items):
+            job_id = job_id_for(payload, context)
+            first_occurrence = job_id not in indices_by_job
+            indices_by_job.setdefault(job_id, []).append(index)
+            if first_occurrence:
+                # earlier dispatch position -> higher priority, so the
+                # scheduler's order survives the queue
+                job = broker.enqueue(payload, context=context_data,
+                                     priority=len(items) - position,
+                                     job_id=job_id,
+                                     max_attempts=self.max_attempts)
+                if not job.fresh:
+                    adopted_jobs.add(job_id)
+
+        processes = []
+        if self.spawn:
+            count = self.workers if self.workers else default_workers(len(items))
+            self._resolved_workers = count
+            worker_args = ["--broker", str(broker.path), "--exit-when-idle",
+                           "--lease", str(self.lease_seconds),
+                           "--poll", "0.05"]
+            if self.data_dir is not None:
+                from repro.service import layout
+                worker_args += ["--cache",
+                                str(layout.cache_root(self.data_dir))]
+            processes = [
+                spawn_module_worker("repro.service.worker", worker_args)
+                for _ in range(count)
+            ]
+
+        unfinished = set(indices_by_job)
+        last_progress = time.monotonic()
+        try:
+            while unfinished:
+                jobs = broker.fetch(list(unfinished))
+                progressed = False
+                for job_id in list(unfinished):
+                    job = jobs.get(job_id)
+                    if job is None:
+                        continue
+                    if job.status == "done":
+                        unfinished.discard(job_id)
+                        progressed = True
+                        for position, index in enumerate(indices_by_job[job_id]):
+                            data = dict(job.result or {})
+                            # relabel with *this* campaign's scenario:
+                            # name/tags are outside the job identity
+                            data["scenario"] = payload_by_index[index]
+                            # a job another campaign enqueued -- or the
+                            # second delivery of an in-campaign twin --
+                            # was not simulated *by this campaign*: mark
+                            # it adopted so the runner neither recounts
+                            # nor re-records it (worker cache hits keep
+                            # their more specific "cache" marker)
+                            if data.get("reused_from") is None and \
+                                    (job_id in adopted_jobs or position > 0):
+                                data["reused_from"] = "queue"
+                            deliver(index, data)
+                    elif job.status == "failed":
+                        unfinished.discard(job_id)
+                        progressed = True
+                        for index in indices_by_job[job_id]:
+                            deliver(index, self.failure_outcome(
+                                payload_by_index[index],
+                                job.error or "job failed in the broker"))
+                    elif job.status == "leased" and job.lease_deadline and \
+                            job.lease_deadline > time.time():
+                        # a live lease (worker heartbeating) is progress
+                        progressed = True
+                if not unfinished:
+                    break
+                if progressed:
+                    last_progress = time.monotonic()
+                fleet_alive = any(p.poll() is None for p in processes)
+                if self.spawn and processes and not fleet_alive:
+                    # workers only exit when nothing is queued or leased;
+                    # re-check once more, then fail what truly remains
+                    jobs = broker.fetch(list(unfinished))
+                    diagnosis = worker_stderr_tail(processes)
+                    for job_id in list(unfinished):
+                        job = jobs.get(job_id)
+                        if job is not None and job.finished:
+                            continue  # final poll will pick it up
+                        unfinished.discard(job_id)
+                        for index in indices_by_job[job_id]:
+                            deliver(index, self.failure_outcome(
+                                payload_by_index[index],
+                                "queue worker fleet exited with the job "
+                                "unfinished" + diagnosis))
+                    continue
+                if not self.spawn and \
+                        time.monotonic() - last_progress > self.idle_timeout:
+                    for job_id in list(unfinished):
+                        unfinished.discard(job_id)
+                        for index in indices_by_job[job_id]:
+                            deliver(index, self.failure_outcome(
+                                payload_by_index[index],
+                                f"no queue worker made progress for "
+                                f"{self.idle_timeout:g}s"))
+                    break
+                time.sleep(self.poll_interval)
+        finally:
+            terminate_workers(processes)
+            if tmp_root is not None:
+                shutil.rmtree(tmp_root, ignore_errors=True)
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "mode": self.name,
+            "workers": self._resolved_workers,
+            "spawn": self.spawn,
+            "broker": self._broker_path,
+        }

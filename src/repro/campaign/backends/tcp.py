@@ -41,17 +41,19 @@ point external workers at ``host:port`` for a multi-host run.
 from __future__ import annotations
 
 import json
-import os
 import socket
 import struct
 import subprocess
-import sys
-import tempfile
 import threading
 import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence
 
+from repro.campaign.backends._spawn import (
+    spawn_module_worker,
+    terminate_workers,
+    worker_stderr_tail,
+)
 from repro.campaign.backends.base import (
     DeliverFn,
     ExecutionBackend,
@@ -274,7 +276,7 @@ class SocketBackend(ExecutionBackend):
                 elif time.monotonic() - idle_since > self.accept_timeout:
                     # nothing running, nothing connecting: fail the rest,
                     # with whatever the dead workers said on stderr
-                    diagnosis = self._worker_stderr_tail(processes)
+                    diagnosis = worker_stderr_tail(processes)
                     with state_lock:
                         remaining = [i for i in attempts
                                      if not delivered.get(i)]
@@ -294,58 +296,18 @@ class SocketBackend(ExecutionBackend):
                 listener.close()
             except OSError:
                 pass
-            for process in processes:
-                if process.poll() is None:
-                    process.terminate()
-            for process in processes:
-                try:
-                    process.wait(timeout=5.0)
-                except subprocess.TimeoutExpired:
-                    process.kill()
-            for process in processes:
-                log = getattr(process, "_stderr_log", None)
-                if log is not None:
-                    log.close()
+            terminate_workers(processes)
 
     def _spawn_worker(self) -> subprocess.Popen:
         """Launch ``python -m repro.campaign.worker`` against our address.
 
         Each worker's stderr lands in an anonymous temp file (kept on the
         Popen object) so a fleet that dies at startup can still be
-        diagnosed -- see :meth:`_worker_stderr_tail`.
+        diagnosed -- see :func:`worker_stderr_tail`.
         """
         host, port = self.address
-        env = dict(os.environ)
-        # make sure the child sees the same import roots (src/, test helpers)
-        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
-        stderr_log = tempfile.TemporaryFile()
-        process = subprocess.Popen(
-            [sys.executable, "-m", "repro.campaign.worker",
-             "--connect", f"{host}:{port}"],
-            env=env,
-            stdout=subprocess.DEVNULL,
-            stderr=stderr_log,
-        )
-        process._stderr_log = stderr_log
-        return process
-
-    @staticmethod
-    def _worker_stderr_tail(processes, limit: int = 2000) -> str:
-        """Last stderr output of a dead spawned worker, for error messages."""
-        for process in processes:
-            log = getattr(process, "_stderr_log", None)
-            if log is None or process.poll() is None:
-                continue
-            try:
-                size = log.seek(0, os.SEEK_END)
-                log.seek(max(0, size - limit))
-                tail = log.read(limit).decode("utf-8", "replace").strip()
-            except (OSError, ValueError):
-                continue
-            if tail:
-                return (f"; worker pid {process.pid} exited "
-                        f"{process.returncode} with stderr: {tail}")
-        return ""
+        return spawn_module_worker(
+            "repro.campaign.worker", ["--connect", f"{host}:{port}"])
 
     def metadata(self) -> Dict[str, object]:
         return {

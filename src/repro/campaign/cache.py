@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import uuid
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -74,23 +76,43 @@ class ResultCache:
         the *current* scenario before it is returned -- aggregate tables
         must show this campaign's names, not last week's.
         """
-        path = self.path(scenario, context)
-        if not path.exists():
+        outcome = self.get_by_key(self.key(scenario, context))
+        if outcome is None:
             return None
+        outcome["scenario"] = scenario.to_dict()
+        return outcome
+
+    def get_by_key(self, key: str) -> Optional[Dict[str, object]]:
+        """Cached outcome by raw entry key, *without* relabelling.
+
+        The service layer addresses the cache this way: a job id **is**
+        a cache key (scenario hash + context hash), and the stored
+        scenario labels are as good as any for an HTTP client that never
+        supplied its own.
+        """
+        path = self.root / f"{key}.json"
         try:
             entry = json.loads(path.read_text())
         except (OSError, ValueError):
+            # missing, or a reader raced a (non-atomic, pre-PR-5) writer
             return None
-        if entry.get("format_version") != CACHE_FORMAT_VERSION:
+        if not isinstance(entry, dict) or \
+                entry.get("format_version") != CACHE_FORMAT_VERSION:
             return None
         outcome = dict(entry["outcome"])
-        outcome["scenario"] = scenario.to_dict()
         outcome["reused_from"] = "cache"
         return outcome
 
     def put(self, scenario: Scenario, context: str,
             outcome: Dict[str, object]) -> Optional[Path]:
-        """Store an outcome; silently refuses non-ok outcomes."""
+        """Store an outcome; silently refuses non-ok outcomes.
+
+        The write is **atomic**: the entry lands in a same-directory
+        temp file first and is ``os.replace``-d into place, so any
+        number of service workers can share one cache directory --
+        concurrent readers see either the old entry or the new one,
+        never a torn write, and the last writer wins bytes-for-bytes.
+        """
         if outcome.get("status") != "ok":
             return None
         self.root.mkdir(parents=True, exist_ok=True)
@@ -104,7 +126,19 @@ class ResultCache:
             "context": context,
             "outcome": stored,
         }
-        path.write_text(json.dumps(entry, default=repr) + "\n")
+        # ".tmp" suffix keeps half-written entries invisible to the
+        # "*.json" globs of __len__ and the key lookups of get()
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
+        tmp.write_text(json.dumps(entry, default=repr) + "\n")
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         return path
 
     def __len__(self) -> int:

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaign.backends import (
+    BACKEND_NAMES,
     ExecutionBackend,
     ExecutionContext,
     default_workers,
@@ -47,7 +48,14 @@ from repro.campaign.cache import ResultCache, context_hash
 from repro.campaign.execution import execute_scenario  # noqa: F401  (public API)
 from repro.campaign.journal import CampaignJournal
 from repro.campaign.scenario import Scenario
-from repro.campaign.schedule import SCHEDULE_POLICIES, plan_schedule
+from repro.campaign.schedule import (
+    SCHEDULE_POLICIES,
+    append_history,
+    history_path_for,
+    load_history,
+    plan_schedule,
+    record_from_outcome,
+)
 from repro.campaign.store import (
     CampaignResult,
     IncrementalAggregates,
@@ -131,9 +139,10 @@ def run_campaign(
     if not isinstance(mode, str):
         raise ValueError(f"unknown mode {mode!r}; expected a backend name")
     if backend is None and mode.strip().lower() not in (
-            "auto", "serial", "process", "pool", "socket"):
+            "auto", *BACKEND_NAMES):
         raise ValueError(
-            f"unknown mode {mode!r}; expected auto|serial|process|pool|socket")
+            f"unknown mode {mode!r}; expected "
+            + "|".join(("auto", *BACKEND_NAMES)))
     if schedule not in SCHEDULE_POLICIES:
         raise ValueError(
             f"unknown schedule {schedule!r}; expected "
@@ -198,12 +207,22 @@ def run_campaign(
                if i not in adopted_dicts]
 
     # -- scheduling ------------------------------------------------------------------
+    #: runtime-history file shared through the result-cache directory;
+    #: adaptive runs load it (cost-model persistence: real first-run LPT
+    #: predictions) and every executed outcome appends its record back
+    history_file: Optional[Path] = None
+    if the_cache is not None:
+        history_file = history_path_for(the_cache.root)
+    persisted_records = 0
     if schedule == "adaptive":
         known_outcomes = [ScenarioOutcome.from_dict(d)
                           for d in adopted_dicts.values()]
         if history:
             known_outcomes.extend(history)
-        order, predictions = plan_schedule(pending, known_outcomes)
+        model = load_history(history_file) if history_file is not None else None
+        if model is not None:
+            persisted_records = model.num_records
+        order, predictions = plan_schedule(pending, known_outcomes, model=model)
         by_index = dict(pending)
         pending = [(i, by_index[i]) for i in order]
     else:
@@ -214,6 +233,7 @@ def run_campaign(
     }
     if predictions is not None:
         schedule_record["predicted_seconds"] = predictions
+        schedule_record["history_records"] = persisted_records
 
     # -- execution -------------------------------------------------------------------
     the_backend = resolve_backend(backend if backend is not None else mode,
@@ -248,6 +268,15 @@ def run_campaign(
             # campaign still warms the cache for the next re-plan
             if the_cache is not None and outcome.reused_from != "cache":
                 the_cache.put(scenarios[index], ctx_key, data)
+            # executed outcomes feed the persistent cost model next to
+            # the cache; adopted ones already have a record there, and a
+            # backend whose workers record for themselves (the queue
+            # backend in data-dir mode) owns the append -- either way,
+            # one record per executed scenario
+            if history_file is not None and not outcome.reused \
+                    and not the_backend.records_history:
+                append_history(history_file,
+                               [record_from_outcome(outcome)])
             done_now = done
         if progress is not None:
             progress(outcome, done_now, len(scenarios))

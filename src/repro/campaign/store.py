@@ -67,7 +67,9 @@ class ScenarioOutcome:
     #: whether the worker reused a cached DC operating point
     dc_cache_hit: bool = False
     #: None when this outcome was simulated by the campaign that reports
-    #: it; "cache" / "journal" when it was adopted without re-simulating
+    #: it; "cache" / "journal" / "queue" when it was adopted without
+    #: this campaign simulating anything ("queue": another campaign's
+    #: broker job, or the duplicate delivery of an in-campaign twin)
     reused_from: Optional[str] = None
 
     @property

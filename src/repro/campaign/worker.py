@@ -13,7 +13,11 @@ campaign::
 
 The worker keeps the standard per-process assembly/DC caches of
 :mod:`repro.campaign.execution` warm across the scenarios it executes,
-exactly like a process-pool worker would.
+exactly like a process-pool worker would.  With ``--cache DIR`` it also
+consults a shared :class:`~repro.campaign.cache.ResultCache` directory
+before simulating -- a warm sweep answers from disk without paying for
+transport or compute (the coordinator sees an ordinary result whose
+outcome is marked ``reused_from: cache``).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import socket
 import sys
 import threading
 import time
+from typing import Optional
 
 from repro.campaign.backends.base import ExecutionContext
 from repro.campaign.backends.tcp import (
@@ -31,7 +36,9 @@ from repro.campaign.backends.tcp import (
     recv_message,
     send_message,
 )
+from repro.campaign.cache import ResultCache, context_hash
 from repro.campaign.execution import execute_scenario
+from repro.campaign.scenario import Scenario
 
 __all__ = ["serve", "main"]
 
@@ -65,7 +72,8 @@ def _connect_with_retry(host: str, port: int,
 
 
 def serve(host: str, port: int, heartbeat_interval: float = 1.0,
-          connect_window: float = 60.0) -> int:
+          connect_window: float = 60.0,
+          cache: Optional[ResultCache] = None) -> int:
     """Connect to the coordinator and execute tasks until shutdown.
 
     Returns the process exit code (0 on orderly shutdown, 1 on protocol
@@ -110,10 +118,24 @@ def serve(host: str, port: int, heartbeat_interval: float = 1.0,
                 return 1
             busy.set()
             try:
-                outcome = execute_scenario(
-                    message["scenario"], context.base_options,
-                    context.timeout, context.sample_points,
-                )
+                outcome = None
+                if cache is not None:
+                    # worker-side result cache: answer warm scenarios
+                    # from the shared directory, skipping the simulation
+                    outcome = cache.get(
+                        Scenario.from_dict(message["scenario"]),
+                        context_hash(context.base_options,
+                                     context.sample_points))
+                if outcome is None:
+                    outcome = execute_scenario(
+                        message["scenario"], context.base_options,
+                        context.timeout, context.sample_points,
+                    )
+                    if cache is not None:
+                        cache.put(Scenario.from_dict(message["scenario"]),
+                                  context_hash(context.base_options,
+                                               context.sample_points),
+                                  outcome)
             finally:
                 busy.clear()
             send_message(sock, {"type": "result",
@@ -142,10 +164,14 @@ def main(argv=None) -> int:
     parser.add_argument("--connect-window", type=float, default=60.0,
                         help="seconds to keep retrying the initial connection "
                              "(workers may start before the coordinator)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="shared result-cache directory consulted before "
+                             "simulating (warm scenarios answer from disk)")
     args = parser.parse_args(argv)
     host, port = _parse_address(args.connect)
     return serve(host, port, heartbeat_interval=args.heartbeat,
-                 connect_window=args.connect_window)
+                 connect_window=args.connect_window,
+                 cache=ResultCache(args.cache) if args.cache else None)
 
 
 if __name__ == "__main__":

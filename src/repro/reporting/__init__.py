@@ -13,6 +13,10 @@ from repro.reporting.figures import (
     Figure2Report,
     figure2_accuracy_report,
 )
+from repro.reporting.service_tables import (
+    render_service_stats,
+    service_stats_rows,
+)
 from repro.reporting.verify_tables import (
     render_verify_report,
     render_verify_summary,
@@ -34,4 +38,6 @@ __all__ = [
     "verify_rows",
     "render_verify_report",
     "render_verify_summary",
+    "service_stats_rows",
+    "render_service_stats",
 ]

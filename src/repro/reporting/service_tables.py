@@ -1,0 +1,64 @@
+"""Service statistics table.
+
+Renders the ``GET /stats`` document of :mod:`repro.service.server` as an
+aligned plain-text operations view: queue depth, admission-control
+counters (with the coalescing save rate), shared-cache size and the
+persisted cost-model coverage.  ``python -m repro.service status`` is
+the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.reporting.tables import format_table
+
+__all__ = ["service_stats_rows", "render_service_stats"]
+
+
+def service_stats_rows(stats: Dict[str, object]) -> List[List[object]]:
+    """Flatten a ``/stats`` document into ``(section, metric, value)`` rows."""
+    rows: List[List[object]] = []
+    jobs = (stats.get("broker") or {}).get("jobs", {})
+    for status in ("queued", "leased", "done", "failed"):
+        rows.append(["queue", status, jobs.get(status, 0)])
+
+    counters = stats.get("counters") or {}
+    admitted = int(counters.get("admitted", 0))
+    coalesced = int(counters.get("coalesced", 0))
+    cached = int(counters.get("cache_answers", 0))
+    submissions = admitted + coalesced + cached
+    rows += [
+        ["admission", "submissions", submissions],
+        ["admission", "admitted", admitted],
+        ["admission", "coalesced (in flight)", coalesced],
+        ["admission", "answered from cache", cached],
+    ]
+    if submissions:
+        rows.append(["admission", "saved fraction",
+                     (coalesced + cached) / submissions])
+    rows += [
+        ["workers", "simulations", counters.get("simulations", 0)],
+        ["workers", "cache hits", counters.get("worker_cache_hits", 0)],
+    ]
+    if counters.get("late_acks"):
+        rows.append(["workers", "late acks", counters["late_acks"]])
+
+    cache = stats.get("cache") or {}
+    rows.append(["cache", "entries", cache.get("entries", 0)])
+    model = stats.get("runtime_model") or {}
+    rows += [
+        ["cost model", "records", model.get("records", 0)],
+        ["cost model", "(circuit, method) pairs", model.get("pairs", 0)],
+    ]
+    rows.append(["service", "campaigns", stats.get("campaigns", 0)])
+    uptime = stats.get("uptime_seconds")
+    if uptime is not None:
+        rows.append(["service", "uptime (s)", uptime])
+    return rows
+
+
+def render_service_stats(stats: Dict[str, object]) -> str:
+    """Render the ``/stats`` document as an aligned plain-text table."""
+    return format_table(["section", "metric", "value"],
+                        service_stats_rows(stats))

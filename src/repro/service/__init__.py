@@ -1,0 +1,73 @@
+"""Always-on simulation service: queue broker, HTTP API, coalescing.
+
+:mod:`repro.campaign` made batched simulation a library call; this
+subpackage makes it a **service**.  Four cooperating pieces:
+
+* :mod:`repro.service.broker` -- a SQLite-backed durable job queue
+  (enqueue / lease / ack / nack with visibility timeouts, priorities and
+  bounded redelivery) that any number of workers attach to and leave,
+  across campaigns;
+* :mod:`repro.service.worker` -- the queue worker loop
+  (``python -m repro.service worker``): lease, consult the shared
+  result cache, simulate, ack, append the runtime record;
+* :mod:`repro.service.server` -- a stdlib-only threaded HTTP JSON API
+  (``POST /scenarios``, ``POST /campaigns``, ``GET /jobs/<id>``,
+  ``GET /jobs/<id>/result``, ``GET /healthz``, ``GET /stats``) with
+  streaming campaign progress;
+* :mod:`repro.service.coalesce` -- admission control: identical
+  submissions (by scenario content hash + context hash) fan in to one
+  job, and warm requests are answered from the result cache without
+  touching a worker.
+
+The matching execution backend,
+:class:`~repro.campaign.backends.queue.QueueBackend`, runs any campaign
+through a broker: ``run_campaign(scenarios, backend="queue")``.
+
+A laptop fleet is two shell commands::
+
+    python -m repro.service serve  --data ./svc --port 8080
+    python -m repro.service worker --data ./svc
+
+This ``__init__`` resolves its exports lazily (PEP 562): the broker is
+imported by :mod:`repro.campaign.backends`, whose own package init is
+running while this module loads -- eager re-exports here would cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Job",
+    "JobBroker",
+    "QueueWorker",
+    "Coalescer",
+    "ServiceServer",
+    "broker_path",
+    "cache_root",
+    "open_broker",
+    "open_cache",
+]
+
+_EXPORTS = {
+    "Job": "repro.service.broker",
+    "JobBroker": "repro.service.broker",
+    "QueueWorker": "repro.service.worker",
+    "Coalescer": "repro.service.coalesce",
+    "ServiceServer": "repro.service.server",
+    "broker_path": "repro.service.layout",
+    "cache_root": "repro.service.layout",
+    "open_broker": "repro.service.layout",
+    "open_cache": "repro.service.layout",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.service' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,210 @@
+"""Service CLI: ``python -m repro.service <serve|worker|submit|status>``.
+
+A laptop fleet is two shell commands::
+
+    python -m repro.service serve  --data ./svc --port 8080
+    python -m repro.service worker --data ./svc        # one per core
+
+then submit work over HTTP from anywhere::
+
+    python -m repro.service submit --url http://localhost:8080 \
+        --circuit rc_ladder --params '{"num_segments": 40}' --method er --wait
+    python -m repro.service status --url http://localhost:8080
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+
+def _http_json(url: str, body: Optional[Dict[str, object]] = None,
+               timeout: float = 30.0) -> Dict[str, object]:
+    """One JSON request/response round trip (errors become SystemExit)."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            document = json.loads(exc.read().decode("utf-8"))
+        except ValueError:
+            document = {"error": str(exc)}
+        raise SystemExit(f"{url}: HTTP {exc.code}: "
+                         f"{document.get('error', document)}")
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"{url}: {exc.reason}")
+
+
+# -- serve -----------------------------------------------------------------------------
+
+
+def cmd_serve(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="Run the HTTP front end (and optionally local workers).")
+    parser.add_argument("--data", metavar="DIR", required=True,
+                        help="service data directory (created if missing)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="also spawn this many local queue workers")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    args = parser.parse_args(argv)
+
+    from repro.campaign.backends._spawn import (
+        spawn_module_worker,
+        terminate_workers,
+    )
+    from repro.service.server import ServiceServer
+
+    server = ServiceServer(data_dir=args.data, host=args.host, port=args.port)
+    server.httpd.RequestHandlerClass.verbose = args.verbose
+    processes = [
+        spawn_module_worker("repro.service.worker", ["--data", args.data])
+        for _ in range(max(0, args.workers))
+    ]
+    print(f"repro.service listening on {server.url} (data: {args.data}, "
+          f"{len(processes)} local workers)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        terminate_workers(processes)
+        server.shutdown()
+    return 0
+
+
+# -- worker ----------------------------------------------------------------------------
+
+
+def cmd_worker(argv) -> int:
+    from repro.service.worker import main as worker_main
+
+    return worker_main(argv)
+
+
+# -- submit ----------------------------------------------------------------------------
+
+
+def _wait_for_result(url: str, job_id: str, poll: float) -> Dict[str, object]:
+    import time
+
+    while True:
+        request = urllib.request.Request(f"{url}/jobs/{job_id}/result")
+        try:
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                if response.status == 200:
+                    return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code != 202:
+                raise SystemExit(f"job {job_id}: HTTP {exc.code}")
+        time.sleep(poll)
+
+
+def cmd_submit(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service submit",
+        description="Submit a scenario (or a campaign file) over HTTP.")
+    parser.add_argument("--url", default="http://127.0.0.1:8080")
+    parser.add_argument("--file", metavar="JSON", default=None,
+                        help="campaign submission file: "
+                             '{"scenarios": [...], "base_options"?, ...}')
+    parser.add_argument("--circuit", default=None,
+                        help="registered circuit factory name")
+    parser.add_argument("--params", default="{}",
+                        help="circuit factory parameters (JSON object)")
+    parser.add_argument("--method", default="er")
+    parser.add_argument("--name", default=None,
+                        help="scenario name (default: circuit/method)")
+    parser.add_argument("--options", default="{}",
+                        help="scenario option overrides (JSON object)")
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument("--wait", action="store_true",
+                        help="poll until the result is ready and print it")
+    parser.add_argument("--poll", type=float, default=0.5)
+    args = parser.parse_args(argv)
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            body = json.load(handle)
+        body.setdefault("priority", args.priority)
+        document = _http_json(f"{args.url}/campaigns", body)
+        print(json.dumps(document, indent=2))
+        return 0
+
+    if not args.circuit:
+        parser.error("one of --file or --circuit is required")
+    scenario = {
+        "name": args.name or f"{args.circuit}/{args.method}",
+        "circuit": {"factory": args.circuit,
+                    "params": json.loads(args.params)},
+        "method": args.method,
+        "options": json.loads(args.options),
+    }
+    document = _http_json(f"{args.url}/scenarios",
+                          {"scenario": scenario, "priority": args.priority})
+    print(json.dumps(document, indent=2))
+    if args.wait and "result" not in document:
+        result = _wait_for_result(args.url, document["job_id"], args.poll)
+        print(json.dumps(result, indent=2))
+    return 0
+
+
+# -- status ----------------------------------------------------------------------------
+
+
+def cmd_status(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service status",
+        description="Print the service /stats snapshot (and render a table).")
+    parser.add_argument("--url", default="http://127.0.0.1:8080")
+    parser.add_argument("--json", action="store_true",
+                        help="raw JSON instead of the rendered table")
+    args = parser.parse_args(argv)
+
+    stats = _http_json(f"{args.url}/stats")
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    from repro.reporting import render_service_stats
+
+    print(render_service_stats(stats))
+    return 0
+
+
+COMMANDS = {
+    "serve": cmd_serve,
+    "worker": cmd_worker,
+    "submit": cmd_submit,
+    "status": cmd_status,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        print(f"\ncommands: {', '.join(sorted(COMMANDS))}")
+        return 0 if argv else 2
+    command = COMMANDS.get(argv[0])
+    if command is None:
+        print(f"unknown command {argv[0]!r}; "
+              f"expected one of {', '.join(sorted(COMMANDS))}", file=sys.stderr)
+        return 2
+    return command(argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

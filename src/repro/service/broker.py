@@ -1,0 +1,452 @@
+"""Durable job queue: the broker every service component attaches to.
+
+The broker is a single SQLite file.  That choice is deliberate: SQLite
+gives multi-process ACID transactions on every platform the simulator
+runs on, with zero extra infrastructure -- the HTTP front end, a fleet of
+``python -m repro.service worker`` processes and a ``QueueBackend``
+campaign can all share one broker path, attach, detach and crash
+independently, and the queue survives all of them.
+
+Queue semantics (the Redis-list/SQS hybrid the ROADMAP asked for):
+
+* :meth:`JobBroker.enqueue` inserts a job (idempotently -- the job id
+  doubles as the dedupe key, which is how the service coalesces
+  identical submissions).  Higher ``priority`` pops first; FIFO within a
+  priority class.
+* :meth:`JobBroker.lease` atomically pops the best runnable job and
+  grants a **visibility timeout**: the job stays invisible to other
+  workers until ``lease_deadline``.  A worker that crashes mid-job
+  simply lets the lease expire -- the job becomes runnable again and is
+  **redelivered** to the next worker that asks.
+* :meth:`JobBroker.extend` renews the lease (workers heartbeat long
+  scenarios); :meth:`JobBroker.ack` finishes a job with its result;
+  :meth:`JobBroker.nack` hands it back (requeued, or failed once the
+  attempt budget is spent).  Both ``ack`` and ``nack`` verify the caller
+  still *owns* the lease, so a worker that lost its lease to expiry
+  cannot clobber the redelivered execution's result.
+* A job leased more than ``max_attempts`` times without an ack is marked
+  ``failed`` -- a poison job cannot cycle through the fleet forever.
+
+Every mutation opens a short-lived connection and runs inside one
+``BEGIN IMMEDIATE`` transaction, so any number of threads and processes
+can share a broker without coordination beyond the file itself.
+
+The broker also keeps a tiny named-counter table (simulations executed,
+worker-side cache hits, coalesced admissions...) that the service's
+``/stats`` endpoint surfaces, and records per-``(circuit, method)``
+runtime statistics into the shared history file consumed by
+:mod:`repro.campaign.schedule` -- see :meth:`JobBroker.record_runtime`.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+__all__ = ["Job", "JobBroker", "JOB_STATUSES"]
+
+#: lifecycle of one job
+JOB_STATUSES = ("queued", "leased", "done", "failed")
+
+#: bumped when the schema changes incompatibly
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    kind TEXT NOT NULL DEFAULT 'scenario',
+    payload TEXT NOT NULL,
+    context TEXT,
+    priority INTEGER NOT NULL DEFAULT 0,
+    status TEXT NOT NULL DEFAULT 'queued',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    lease_owner TEXT,
+    lease_deadline REAL,
+    result TEXT,
+    result_status TEXT,
+    error TEXT,
+    created_at REAL NOT NULL,
+    finished_at REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_runnable
+    ON jobs (status, priority DESC, created_at);
+CREATE TABLE IF NOT EXISTS counters (
+    name TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+@dataclass
+class Job:
+    """One queued unit of work (a scenario payload plus its context)."""
+
+    id: str
+    payload: Dict[str, object]
+    context: Optional[Dict[str, object]] = None
+    kind: str = "scenario"
+    priority: int = 0
+    status: str = "queued"
+    attempts: int = 0
+    max_attempts: int = 3
+    lease_owner: Optional[str] = None
+    lease_deadline: Optional[float] = None
+    result: Optional[Dict[str, object]] = None
+    result_status: Optional[str] = None
+    error: Optional[str] = None
+    created_at: float = 0.0
+    finished_at: Optional[float] = None
+    #: transient (not stored): whether :meth:`JobBroker.enqueue` actually
+    #: inserted/reset this job (True) or coalesced onto an existing one
+    fresh: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Public JSON view (the ``GET /jobs/<id>`` body, minus result)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "result_status": self.result_status,
+            "error": self.error,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def _row_to_job(row: sqlite3.Row) -> Job:
+    return Job(
+        id=row["id"],
+        kind=row["kind"],
+        payload=json.loads(row["payload"]),
+        context=json.loads(row["context"]) if row["context"] else None,
+        priority=row["priority"],
+        status=row["status"],
+        attempts=row["attempts"],
+        max_attempts=row["max_attempts"],
+        lease_owner=row["lease_owner"],
+        lease_deadline=row["lease_deadline"],
+        result=json.loads(row["result"]) if row["result"] else None,
+        result_status=row["result_status"],
+        error=row["error"],
+        created_at=row["created_at"],
+        finished_at=row["finished_at"],
+    )
+
+
+class JobBroker:
+    """File-backed durable job queue (enqueue / lease / ack / nack).
+
+    Safe for concurrent use from any number of threads and processes;
+    every public method is one atomic transaction against the SQLite
+    file at ``path``.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 lease_seconds: float = 60.0,
+                 max_attempts: int = 3,
+                 busy_timeout: float = 30.0):
+        self.path = Path(path)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.busy_timeout = float(busy_timeout)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._conn() as conn:
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)))
+
+    @contextmanager
+    def _conn(self):
+        """A short-lived autocommit connection, closed on exit.
+
+        The broker is polled frequently (campaign loops, /stats); every
+        connection must be closed deterministically, not left to the
+        garbage collector's mercy.
+        """
+        conn = sqlite3.connect(self.path, timeout=self.busy_timeout,
+                               isolation_level=None)
+        try:
+            conn.row_factory = sqlite3.Row
+            # WAL lets readers (status polls, /stats) proceed while a
+            # worker holds the write lock for a lease transaction
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            yield conn
+        finally:
+            conn.close()
+
+    @contextmanager
+    def _txn(self):
+        """One ``BEGIN IMMEDIATE`` transaction: commit on success,
+        roll back when the body raises (a failed enqueue must not
+        half-commit), close either way."""
+        with self._conn() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield conn
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            else:
+                conn.execute("COMMIT")
+
+    # -- producing ---------------------------------------------------------------------
+
+    def enqueue(self, payload: Dict[str, object],
+                context: Optional[Dict[str, object]] = None,
+                priority: int = 0,
+                job_id: Optional[str] = None,
+                kind: str = "scenario",
+                max_attempts: Optional[int] = None) -> Job:
+        """Insert a job, or return the existing one with the same id.
+
+        ``job_id`` is the dedupe key (the service uses the scenario's
+        content hash + context hash, so identical submissions coalesce
+        onto one job).  An existing job that is queued, leased, or done
+        with an ``ok`` result is returned as-is; a failed job -- or a
+        done job whose recorded outcome is not ``ok`` (errors and
+        timeouts must never become permanent) -- is **reset** and
+        requeued with a fresh attempt budget.
+        """
+        job_id = job_id or uuid.uuid4().hex
+        budget = self.max_attempts if max_attempts is None else int(max_attempts)
+        now = time.time()
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+            if row is not None:
+                job = _row_to_job(row)
+                stale = job.status == "failed" or (
+                    job.status == "done" and job.result_status != "ok")
+                if not stale:
+                    return job  # coalesced: job.fresh stays False
+                conn.execute(
+                    "UPDATE jobs SET status='queued', attempts=0,"
+                    " max_attempts=?, lease_owner=NULL,"
+                    " lease_deadline=NULL, result=NULL,"
+                    " result_status=NULL, error=NULL, finished_at=NULL,"
+                    " payload=?, context=?, priority=?, created_at=?"
+                    " WHERE id=?",
+                    (budget, json.dumps(payload, default=repr),
+                     json.dumps(context, default=repr) if context else None,
+                     int(priority), now, job_id))
+            else:
+                conn.execute(
+                    "INSERT INTO jobs (id, kind, payload, context,"
+                    " priority, status, max_attempts, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, 'queued', ?, ?)",
+                    (job_id, kind, json.dumps(payload, default=repr),
+                     json.dumps(context, default=repr) if context else None,
+                     int(priority), budget, now))
+        job = self.get(job_id)
+        job.fresh = True
+        return job
+
+    # -- consuming ---------------------------------------------------------------------
+
+    def lease(self, worker_id: str,
+              lease_seconds: Optional[float] = None) -> Optional[Job]:
+        """Atomically pop the best runnable job, or return ``None``.
+
+        Runnable means queued, or leased with an **expired** visibility
+        deadline (the redelivery path).  Jobs whose attempt budget is
+        already spent are failed in passing instead of being handed out
+        again.
+        """
+        window = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        now = time.time()
+        with self._txn() as conn:
+            while True:
+                row = conn.execute(
+                    "SELECT * FROM jobs WHERE status = 'queued'"
+                    " OR (status = 'leased' AND lease_deadline < ?)"
+                    " ORDER BY priority DESC, created_at, rowid LIMIT 1",
+                    (now,)).fetchone()
+                if row is None:
+                    return None
+                job = _row_to_job(row)
+                if job.attempts >= job.max_attempts:
+                    # redelivered too often: poison
+                    conn.execute(
+                        "UPDATE jobs SET status='failed', lease_owner=NULL,"
+                        " lease_deadline=NULL, finished_at=?, error=?"
+                        " WHERE id=?",
+                        (now,
+                         f"attempt budget exhausted after {job.attempts} "
+                         f"lease(s) without an ack (worker crash?)",
+                         job.id))
+                    continue
+                conn.execute(
+                    "UPDATE jobs SET status='leased', lease_owner=?,"
+                    " lease_deadline=?, attempts=attempts+1 WHERE id=?",
+                    (worker_id, now + window, job.id))
+                job.status = "leased"
+                job.lease_owner = worker_id
+                job.lease_deadline = now + window
+                job.attempts += 1
+                return job
+
+    def extend(self, job_id: str, worker_id: str,
+               lease_seconds: Optional[float] = None) -> bool:
+        """Renew the visibility timeout of a job this worker holds.
+
+        Returns ``False`` when the lease is no longer ours (it expired
+        and the job was redelivered) -- the worker should abandon the job.
+        """
+        window = self.lease_seconds if lease_seconds is None else float(lease_seconds)
+        with self._conn() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET lease_deadline=? WHERE id=?"
+                " AND status='leased' AND lease_owner=?",
+                (time.time() + window, job_id, worker_id))
+            return cursor.rowcount > 0
+
+    def ack(self, job_id: str, worker_id: str,
+            result: Dict[str, object]) -> bool:
+        """Finish a leased job with its outcome dict.
+
+        The ack is honored only while the caller still owns the lease;
+        a late ack (lease expired, job redelivered) returns ``False``
+        and changes nothing -- the redelivered execution's result wins.
+        """
+        with self._conn() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET status='done', result=?, result_status=?,"
+                " lease_owner=NULL, lease_deadline=NULL, finished_at=?"
+                " WHERE id=? AND status='leased' AND lease_owner=?",
+                (json.dumps(result, default=repr),
+                 str(result.get("status", "error")),
+                 time.time(), job_id, worker_id))
+            return cursor.rowcount > 0
+
+    def nack(self, job_id: str, worker_id: str, error: str,
+             requeue: bool = True) -> bool:
+        """Hand a leased job back (requeued, or failed when out of budget)."""
+        now = time.time()
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM jobs WHERE id=?"
+                " AND status='leased' AND lease_owner=?",
+                (job_id, worker_id)).fetchone()
+            if row is None:
+                return False
+            if requeue and row["attempts"] < row["max_attempts"]:
+                conn.execute(
+                    "UPDATE jobs SET status='queued', lease_owner=NULL,"
+                    " lease_deadline=NULL, error=? WHERE id=?",
+                    (error, job_id))
+            else:
+                conn.execute(
+                    "UPDATE jobs SET status='failed', lease_owner=NULL,"
+                    " lease_deadline=NULL, error=?, finished_at=?"
+                    " WHERE id=?", (error, now, job_id))
+            return True
+
+    # -- observing ---------------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+            return _row_to_job(row) if row is not None else None
+
+    def fetch(self, job_ids: Sequence[str]) -> Dict[str, Job]:
+        """Bulk :meth:`get` (one query) -- the campaign poll loop's read."""
+        out: Dict[str, Job] = {}
+        ids = list(job_ids)
+        with self._conn() as conn:
+            for start in range(0, len(ids), 500):
+                chunk = ids[start:start + 500]
+                marks = ",".join("?" * len(chunk))
+                for row in conn.execute(
+                        f"SELECT * FROM jobs WHERE id IN ({marks})", chunk):
+                    job = _row_to_job(row)
+                    out[job.id] = job
+        return out
+
+    def depth(self) -> Dict[str, int]:
+        """Job count per status (expired leases count as queued)."""
+        now = time.time()
+        counts = {status: 0 for status in JOB_STATUSES}
+        with self._conn() as conn:
+            for row in conn.execute(
+                    "SELECT CASE WHEN status='leased' AND lease_deadline < ?"
+                    " THEN 'queued' ELSE status END AS bucket,"
+                    " COUNT(*) AS n FROM jobs GROUP BY bucket", (now,)):
+                counts[row["bucket"]] = counts.get(row["bucket"], 0) + row["n"]
+        return counts
+
+    def pending(self) -> int:
+        """Jobs not yet finished (queued + leased, expired or not)."""
+        depth = self.depth()
+        return depth["queued"] + depth["leased"]
+
+    # -- counters ----------------------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment a named durable counter (see :meth:`counters`)."""
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT INTO counters (name, value) VALUES (?, ?)"
+                " ON CONFLICT(name) DO UPDATE SET value = value + ?",
+                (name, int(amount), int(amount)))
+
+    def counters(self) -> Dict[str, int]:
+        with self._conn() as conn:
+            return {row["name"]: row["value"]
+                    for row in conn.execute("SELECT name, value FROM counters")}
+
+    def stats(self) -> Dict[str, object]:
+        """The broker section of the service's ``/stats`` document."""
+        return {
+            "path": str(self.path),
+            "jobs": self.depth(),
+            "counters": self.counters(),
+        }
+
+    # -- runtime statistics ------------------------------------------------------------
+
+    @property
+    def history_path(self) -> Path:
+        """Fallback runtime-history file next to the broker database.
+
+        The *canonical* location is inside the shared result-cache
+        directory (:func:`repro.campaign.schedule.history_path_for`), so
+        that service workers and ``run_campaign(cache=...,
+        schedule="adaptive")`` read and write one file; this broker-side
+        path only serves fleets running without any cache directory.
+        """
+        return self.path.parent / "runtime_history.jsonl"
+
+    def record_runtime(self, outcome_data: Dict[str, object],
+                       history_path: Union[str, Path, None] = None) -> None:
+        """Append one executed outcome's runtime record to the history.
+
+        Cache-aware workers pass ``history_path_for(cache.root)`` so the
+        record lands where adaptive campaigns look for it; without a
+        path the broker-adjacent fallback file is used.
+        """
+        from repro.campaign.schedule import append_history, record_from_outcome_dict
+
+        record = record_from_outcome_dict(outcome_data)
+        if record is not None:
+            append_history(history_path or self.history_path, [record])

@@ -1,0 +1,471 @@
+"""The service front end: a stdlib-only threaded HTTP JSON API.
+
+The server is deliberately thin: it validates submissions against the
+:mod:`repro.campaign.scenario` specs, runs them through the
+:class:`~repro.service.coalesce.Coalescer`, and reads state back out of
+the broker and the shared result cache.  All simulation happens in queue
+workers; the front end can be restarted at any time without losing a
+job (the broker file is the durable state).
+
+API
+---
+======  ==========================  =============================================
+POST    ``/scenarios``              submit one scenario; body
+                                    ``{"scenario": {...}, "base_options"?,
+                                    "timeout"?, "sample_points"?, "priority"?}``;
+                                    replies with the (possibly coalesced) job id,
+                                    the admission decision, and -- when answered
+                                    from the cache -- the result itself
+POST    ``/campaigns``              submit many scenarios at once (same context
+                                    fields, ``"scenarios": [...]``); replies with
+                                    a campaign id plus per-scenario job ids and
+                                    admission counts
+GET     ``/jobs/<id>``              job status document
+GET     ``/jobs/<id>/result``       the outcome dict (``202`` while pending)
+GET     ``/campaigns/<id>``         campaign progress snapshot
+GET     ``/campaigns/<id>/stream``  chunked JSONL: one line per scenario as its
+                                    result lands, then a summary line
+GET     ``/healthz``                liveness + queue depth
+GET     ``/stats``                  broker depth, coalescing counters, cache
+                                    size, persisted cost-model coverage
+======  ==========================  =============================================
+
+Errors are JSON too: ``{"error": ...}`` with a 4xx/5xx status.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.campaign.backends.base import ExecutionContext
+from repro.campaign.cache import ResultCache
+from repro.campaign.scenario import Scenario
+from repro.campaign.schedule import history_path_for, load_history
+from repro.core.options import SimOptions
+from repro.service import layout
+from repro.service.broker import JobBroker
+from repro.service.coalesce import Coalescer
+
+__all__ = ["ServiceServer", "ApiError"]
+
+#: maximum accepted request body (a campaign of thousands of scenarios
+#: fits comfortably; a runaway client does not take the process down)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: most recent ``POST /campaigns`` records kept in front-end memory
+#: (older ones are evicted FIFO -- the broker remains the durable state,
+#: an always-on server must not grow without bound)
+MAX_CAMPAIGNS = 1024
+
+
+class ApiError(Exception):
+    """A client-visible error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _validate_scenario(data: object) -> Dict[str, object]:
+    """Parse one scenario dict through the campaign spec (400 on failure)."""
+    if not isinstance(data, dict):
+        raise ApiError(400, "scenario must be a JSON object")
+    try:
+        scenario = Scenario.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ApiError(400, f"invalid scenario: {exc}") from exc
+    if not scenario.name:
+        raise ApiError(400, "scenario needs a non-empty name")
+    return scenario.to_dict()
+
+
+def _validate_context(body: Dict[str, object]) -> ExecutionContext:
+    """Parse the campaign-context fields of a submission (400 on failure)."""
+    base_options = body.get("base_options")
+    if base_options is not None:
+        try:
+            base_options = SimOptions.from_dict(base_options).to_dict()
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise ApiError(400, f"invalid base_options: {exc}") from exc
+    timeout = body.get("timeout")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError) as exc:
+            raise ApiError(400, f"invalid timeout: {exc}") from exc
+    try:
+        sample_points = int(body.get("sample_points", 101))
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, f"invalid sample_points: {exc}") from exc
+    return ExecutionContext(base_options=base_options, timeout=timeout,
+                            sample_points=sample_points)
+
+
+def _validate_priority(body: Dict[str, object]) -> int:
+    try:
+        return int(body.get("priority", 0) or 0)
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, f"invalid priority: {exc}") from exc
+
+
+class _Campaign:
+    """Server-side record of one ``POST /campaigns`` submission."""
+
+    def __init__(self, campaign_id: str, names: List[str],
+                 job_ids: List[str], decisions: List[str]):
+        self.id = campaign_id
+        self.names = names
+        self.job_ids = job_ids
+        self.decisions = decisions
+        self.created_at = time.time()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign_id": self.id,
+            "total": len(self.names),
+            "jobs": dict(zip(self.names, self.job_ids)),
+            "decisions": dict(zip(self.names, self.decisions)),
+            "created_at": self.created_at,
+        }
+
+
+class ServiceServer:
+    """The queue-brokered simulation service (front end only).
+
+    Construct with a data directory (broker + cache are opened under
+    it), or pass explicit ``broker`` / ``cache`` instances.  ``start()``
+    serves on a daemon thread (tests), ``serve_forever()`` blocks (the
+    CLI).
+    """
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path, None] = None,
+        broker: Optional[JobBroker] = None,
+        cache: Optional[ResultCache] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_interval: float = 0.1,
+    ):
+        if broker is None:
+            if data_dir is None:
+                raise ValueError("ServiceServer needs data_dir or broker")
+            broker = layout.open_broker(data_dir)
+        if cache is None and data_dir is not None:
+            cache = layout.open_cache(data_dir)
+        self.broker = broker
+        self.cache = cache
+        self.coalescer = Coalescer(broker, cache)
+        self.poll_interval = float(poll_interval)
+        self.started_at = time.time()
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._campaign_lock = threading.Lock()
+
+        service = self
+
+        class Handler(_ServiceHandler):
+            pass
+
+        Handler.service = service
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # -- request logic (transport-free, so tests can call it directly) ----------------
+
+    def submit_scenario(self, body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        payload = _validate_scenario(body.get("scenario"))
+        context = _validate_context(body)
+        priority = _validate_priority(body)
+        admission = self.coalescer.admit(payload, context, priority=priority)
+        document = admission.to_dict()
+        document["result_url"] = f"/jobs/{admission.job_id}/result"
+        status = 200 if admission.decision == "cache" else 202
+        return status, document
+
+    def submit_campaign(self, body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        scenarios = body.get("scenarios")
+        if not isinstance(scenarios, list) or not scenarios:
+            raise ApiError(400, "campaign needs a non-empty 'scenarios' list")
+        payloads = [_validate_scenario(s) for s in scenarios]
+        names = [str(p["name"]) for p in payloads]
+        if len(set(names)) != len(names):
+            raise ApiError(400, "scenario names within a campaign must be unique")
+        context = _validate_context(body)
+        priority = _validate_priority(body)
+        admissions = [self.coalescer.admit(p, context, priority=priority)
+                      for p in payloads]
+        campaign = _Campaign(
+            campaign_id=uuid.uuid4().hex[:12],
+            names=names,
+            job_ids=[a.job_id for a in admissions],
+            decisions=[a.decision for a in admissions],
+        )
+        with self._campaign_lock:
+            self._campaigns[campaign.id] = campaign
+            while len(self._campaigns) > MAX_CAMPAIGNS:
+                self._campaigns.pop(next(iter(self._campaigns)))
+        document = campaign.to_dict()
+        decisions = [a.decision for a in admissions]
+        document.update({
+            "admitted": decisions.count("admitted"),
+            "coalesced": decisions.count("coalesced"),
+            "cached": decisions.count("cache"),
+            "status_url": f"/campaigns/{campaign.id}",
+            "stream_url": f"/campaigns/{campaign.id}/stream",
+        })
+        return 202, document
+
+    def campaign_progress(self, campaign_id: str) -> Dict[str, object]:
+        campaign = self._campaign(campaign_id)
+        statuses: Dict[str, str] = {}
+        result_statuses: Dict[str, Optional[str]] = {}
+        for name, job_id in zip(campaign.names, campaign.job_ids):
+            document = self.coalescer.status_for(job_id) or {}
+            statuses[name] = str(document.get("status", "unknown"))
+            result_statuses[name] = document.get("result_status")
+        done = sum(1 for s in statuses.values() if s in ("done", "failed"))
+        out = campaign.to_dict()
+        out.update({
+            "done": done,
+            "finished": done == len(campaign.names),
+            "statuses": statuses,
+            "result_statuses": result_statuses,
+        })
+        return out
+
+    def _campaign(self, campaign_id: str) -> _Campaign:
+        with self._campaign_lock:
+            campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise ApiError(404, f"unknown campaign {campaign_id!r}")
+        return campaign
+
+    def stats(self) -> Dict[str, object]:
+        # the canonical history file sits in the cache directory (shared
+        # with adaptive campaigns); broker-adjacent file is the fallback
+        # for cache-less deployments
+        history = history_path_for(self.cache.root) if self.cache is not None \
+            else self.broker.history_path
+        model = load_history(history)
+        with self._campaign_lock:
+            num_campaigns = len(self._campaigns)
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "broker": {"path": str(self.broker.path),
+                       "jobs": self.broker.depth()},
+            "counters": self.coalescer.counters(),
+            "cache": {
+                "root": str(self.cache.root) if self.cache else None,
+                "entries": len(self.cache) if self.cache else 0,
+            },
+            "runtime_model": {
+                "records": model.num_records,
+                "pairs": model.num_pairs,
+            },
+            "campaigns": num_campaigns,
+        }
+
+    def healthz(self) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "broker": str(self.broker.path),
+            "jobs": self.broker.depth(),
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`ServiceServer`."""
+
+    service: ServiceServer  # injected per server instance
+    protocol_version = "HTTP/1.1"
+    #: quiet by default; the CLI flips this for interactive serving
+    verbose = False
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 -- stdlib signature
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, document: Dict[str, object]) -> None:
+        body = json.dumps(document, default=repr).encode("utf-8")
+        # error paths may not have drained the request body (oversized or
+        # unparsable submissions); reusing the connection would let the
+        # unread bytes masquerade as the next request line, so close it
+        if status >= 400:
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise ApiError(400, "missing or invalid Content-Length")
+        if length <= 0:
+            raise ApiError(400, "request body required")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ApiError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            handled = self._route(method, path)
+        except ApiError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+            return
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away mid-response; nothing to answer
+        except Exception as exc:  # noqa: BLE001 -- the API must answer
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        if not handled:
+            self._send_json(404, {"error": f"no route for {method} {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        self._dispatch("POST")
+
+    def do_GET(self) -> None:  # noqa: N802 -- stdlib naming
+        self._dispatch("GET")
+
+    # -- routing -----------------------------------------------------------------------
+
+    def _route(self, method: str, path: str) -> bool:
+        service = self.service
+        parts = [p for p in path.split("/") if p]
+        if method == "POST" and parts == ["scenarios"]:
+            status, document = service.submit_scenario(self._read_body())
+            self._send_json(status, document)
+            return True
+        if method == "POST" and parts == ["campaigns"]:
+            status, document = service.submit_campaign(self._read_body())
+            self._send_json(status, document)
+            return True
+        if method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            document = service.coalescer.status_for(parts[1])
+            if document is None:
+                raise ApiError(404, f"unknown job {parts[1]!r}")
+            self._send_json(200, document)
+            return True
+        if method == "GET" and len(parts) == 3 and parts[0] == "jobs" \
+                and parts[2] == "result":
+            job_id = parts[1]
+            result = service.coalescer.result_for(job_id)
+            if result is not None:
+                self._send_json(200, result)
+                return True
+            document = service.coalescer.status_for(job_id)
+            if document is None:
+                raise ApiError(404, f"unknown job {job_id!r}")
+            self._send_json(202, document)
+            return True
+        if method == "GET" and len(parts) == 2 and parts[0] == "campaigns":
+            self._send_json(200, service.campaign_progress(parts[1]))
+            return True
+        if method == "GET" and len(parts) == 3 and parts[0] == "campaigns" \
+                and parts[2] == "stream":
+            self._stream_campaign(parts[1])
+            return True
+        if method == "GET" and parts == ["healthz"]:
+            self._send_json(200, service.healthz())
+            return True
+        if method == "GET" and parts == ["stats"]:
+            self._send_json(200, service.stats())
+            return True
+        return False
+
+    # -- streaming ---------------------------------------------------------------------
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()
+
+    def _stream_campaign(self, campaign_id: str) -> None:
+        """Stream one JSONL event per scenario as its result lands."""
+        service = self.service
+        campaign = service._campaign(campaign_id)  # 404s before headers go out
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+
+        remaining = dict(zip(campaign.names, campaign.job_ids))
+        try:
+            while remaining:
+                finished: List[str] = []
+                for name, job_id in remaining.items():
+                    document = service.coalescer.status_for(job_id)
+                    if document is None or \
+                            document.get("status") not in ("done", "failed"):
+                        continue
+                    finished.append(name)
+                    event = {
+                        "event": "result",
+                        "name": name,
+                        "job_id": job_id,
+                        "status": document.get("status"),
+                        "result_status": document.get("result_status"),
+                        "error": document.get("error"),
+                    }
+                    self._write_chunk(
+                        json.dumps(event, default=repr).encode("utf-8") + b"\n")
+                for name in finished:
+                    remaining.pop(name)
+                if remaining:
+                    time.sleep(service.poll_interval)
+            summary = service.campaign_progress(campaign_id)
+            summary["event"] = "end"
+            self._write_chunk(
+                json.dumps(summary, default=repr).encode("utf-8") + b"\n")
+            self._write_chunk(b"")  # terminal chunk
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up; the campaign keeps running

@@ -1,0 +1,235 @@
+"""Queue worker: lease jobs from a broker, simulate, ack the outcome.
+
+Unlike the socket worker (which belongs to one coordinator for one
+campaign), a queue worker belongs to the **broker**: it attaches to the
+service data directory, drains whatever jobs appear -- from the HTTP
+front end, from ``run_campaign(backend="queue")``, from another laptop
+sharing the directory -- and survives across campaigns.  Run one per
+core::
+
+    python -m repro.service worker --data ./service-data
+
+The worker is where two ROADMAP follow-ups close:
+
+* **Worker-side result cache** -- before simulating, the worker consults
+  the shared :class:`~repro.campaign.cache.ResultCache` under the data
+  directory; a warm job is acked straight from disk (counted in the
+  broker's ``worker_cache_hits`` counter, surfaced by ``/stats``) and a
+  fresh ``ok`` outcome is stored back for every later request.
+* **Cost-model persistence** -- every executed outcome appends its
+  per-``(circuit, method)`` runtime record to the broker's shared
+  history file, which ``schedule="adaptive"`` campaigns load for
+  first-run LPT predictions.
+
+While a scenario runs, a daemon thread extends the job's lease
+(visibility timeout) so a long simulation is not mistaken for a crash;
+a worker that actually dies simply stops extending, the lease expires,
+and the broker redelivers the job to a sibling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Optional
+
+from repro.campaign.cache import ResultCache, context_hash
+from repro.campaign.execution import execute_scenario
+from repro.campaign.scenario import Scenario
+from repro.campaign.schedule import history_path_for
+from repro.service.broker import Job, JobBroker
+from repro.service import layout
+
+__all__ = ["QueueWorker", "main"]
+
+
+class QueueWorker:
+    """One lease-execute-ack loop around a :class:`JobBroker`."""
+
+    def __init__(
+        self,
+        broker: JobBroker,
+        cache: Optional[ResultCache] = None,
+        worker_id: Optional[str] = None,
+        lease_seconds: float = 60.0,
+        poll_interval: float = 0.2,
+        record_history: bool = True,
+    ):
+        self.broker = broker
+        self.cache = cache
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.lease_seconds = float(lease_seconds)
+        self.poll_interval = float(poll_interval)
+        self.record_history = record_history
+        #: jobs this worker actually simulated / answered from cache
+        self.num_executed = 0
+        self.num_cache_hits = 0
+
+    # -- one job -----------------------------------------------------------------------
+
+    def process(self, job: Job) -> bool:
+        """Execute (or cache-answer) one leased job and ack it.
+
+        Returns whether the ack was accepted -- ``False`` means the
+        lease expired under us and the redelivered execution wins.
+        """
+        context = job.context or {}
+        base_options = context.get("base_options")
+        timeout = context.get("timeout")
+        sample_points = int(context.get("sample_points", 101))
+
+        outcome = self._cached_outcome(job.payload, base_options, sample_points)
+        if outcome is not None:
+            self.num_cache_hits += 1
+            self.broker.incr("worker_cache_hits")
+            return self.broker.ack(job.id, self.worker_id, outcome)
+
+        stop_extending = self._keep_lease_alive(job.id)
+        try:
+            outcome = execute_scenario(job.payload, base_options,
+                                       timeout, sample_points)
+        finally:
+            stop_extending()
+        self.num_executed += 1
+        self.broker.incr("simulations")
+        if self.cache is not None:
+            self.cache.put(Scenario.from_dict(job.payload),
+                           self._context_key(base_options, sample_points),
+                           outcome)
+        if self.record_history:
+            # canonical history location: inside the shared cache
+            # directory, where adaptive campaigns load it; broker-
+            # adjacent fallback for cache-less fleets
+            self.broker.record_runtime(
+                outcome,
+                history_path_for(self.cache.root)
+                if self.cache is not None else None)
+        acked = self.broker.ack(job.id, self.worker_id, outcome)
+        if not acked:
+            self.broker.incr("late_acks")
+        return acked
+
+    @staticmethod
+    def _context_key(base_options, sample_points: int) -> str:
+        return context_hash(base_options, sample_points)
+
+    def _cached_outcome(self, payload, base_options, sample_points):
+        if self.cache is None:
+            return None
+        scenario = Scenario.from_dict(payload)
+        return self.cache.get(
+            scenario, self._context_key(base_options, sample_points))
+
+    def _keep_lease_alive(self, job_id: str):
+        """Extend the lease on a timer while a simulation runs."""
+        stop = threading.Event()
+        interval = max(0.5, self.lease_seconds / 3.0)
+
+        def _extend() -> None:
+            while not stop.wait(interval):
+                if not self.broker.extend(job_id, self.worker_id,
+                                          self.lease_seconds):
+                    return  # lease lost; the ack will be rejected anyway
+
+        thread = threading.Thread(target=_extend, daemon=True)
+        thread.start()
+
+        def _stop() -> None:
+            stop.set()
+
+        return _stop
+
+    # -- the loop ----------------------------------------------------------------------
+
+    def run_once(self) -> bool:
+        """Lease and process at most one job; returns whether one ran."""
+        job = self.broker.lease(self.worker_id, self.lease_seconds)
+        if job is None:
+            return False
+        self.process(job)
+        return True
+
+    def run(self, exit_when_idle: bool = False,
+            max_idle: Optional[float] = None) -> int:
+        """Drain the queue until stopped.
+
+        ``exit_when_idle`` returns once nothing is queued *and* nothing
+        is leased -- a leased job might still come back via lease expiry,
+        so a fleet of spawned workers only disbands when the campaign is
+        truly finished.  ``max_idle`` (seconds without work) is the
+        belt-and-braces exit for detached fleets.  Returns the number of
+        jobs this worker handled.
+        """
+        handled = 0
+        idle_since = time.monotonic()
+        while True:
+            if self.run_once():
+                handled += 1
+                idle_since = time.monotonic()
+                continue
+            if exit_when_idle and self.broker.pending() == 0:
+                return handled
+            if max_idle is not None and \
+                    time.monotonic() - idle_since > max_idle:
+                return handled
+            time.sleep(self.poll_interval)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service worker",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--data", metavar="DIR", default=None,
+                        help="service data directory (broker + shared cache)")
+    parser.add_argument("--broker", metavar="FILE", default=None,
+                        help="broker database path (overrides --data layout)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="shared result-cache directory "
+                             "(default: DATA/cache; empty string disables)")
+    parser.add_argument("--lease", type=float, default=60.0,
+                        help="visibility timeout granted per leased job")
+    parser.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between lease attempts when idle")
+    parser.add_argument("--exit-when-idle", action="store_true",
+                        help="exit once nothing is queued or leased")
+    parser.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many idle seconds")
+    parser.add_argument("--worker-id", default=None,
+                        help="override the worker identity (host:pid)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append runtime records to the shared "
+                             "cost-model history")
+    args = parser.parse_args(argv)
+
+    if args.data is None and args.broker is None:
+        parser.error("one of --data or --broker is required")
+    broker = JobBroker(args.broker) if args.broker else \
+        layout.open_broker(args.data)
+    cache: Optional[ResultCache] = None
+    if args.cache:
+        cache = ResultCache(args.cache)
+    elif args.cache is None and args.data is not None:
+        cache = layout.open_cache(args.data)
+
+    worker = QueueWorker(broker, cache=cache, worker_id=args.worker_id,
+                         lease_seconds=args.lease, poll_interval=args.poll,
+                         record_history=not args.no_history)
+    print(f"worker {worker.worker_id} attached to {broker.path}",
+          file=sys.stderr)
+    try:
+        handled = worker.run(exit_when_idle=args.exit_when_idle,
+                             max_idle=args.max_idle)
+    except KeyboardInterrupt:
+        return 0
+    print(f"worker {worker.worker_id} idle, exiting "
+          f"({handled} jobs handled)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,9 +2,11 @@
 
 The same scenario list must produce identical deterministic outcomes
 (statistics and waveform samples) through the serial loop, the process
-pool and the socket transport; timeouts and failures must be captured,
-not propagated; and the socket backend must survive worker death by
-re-dispatching the in-flight scenario.
+pool, the socket transport and the broker-backed queue; timeouts and
+failures must be captured, not propagated; and the socket backend must
+survive worker death by re-dispatching the in-flight scenario (the
+queue backend's equivalent redelivery tests live in
+``tests/test_campaign_queue_backend.py``).
 """
 
 import socket as socket_module
@@ -16,6 +18,7 @@ from repro.campaign import (
     ExecutionBackend,
     ExecutionContext,
     ProcessPoolBackend,
+    QueueBackend,
     Scenario,
     SerialBackend,
     SocketBackend,
@@ -28,7 +31,7 @@ from repro.core.options import SimOptions
 
 FAST_OPTIONS = SimOptions(t_stop=0.1e-9, h_init=2e-12, store_states=False)
 
-BACKEND_NAMES = ("serial", "process", "socket")
+BACKEND_NAMES = ("serial", "process", "socket", "queue")
 
 
 def make_backend(name: str) -> ExecutionBackend:
@@ -36,6 +39,8 @@ def make_backend(name: str) -> ExecutionBackend:
         return SerialBackend()
     if name == "process":
         return ProcessPoolBackend(workers=2)
+    if name == "queue":
+        return QueueBackend(workers=2, lease_seconds=30.0)
     return SocketBackend(workers=2, heartbeat_timeout=30.0, accept_timeout=30.0)
 
 
@@ -187,6 +192,63 @@ class TestWorkerStartupOrder:
                 worker.kill()
 
 
+class TestSocketWorkerSharedCache:
+    def test_external_worker_answers_warm_sweep_from_cache(self, tmp_path):
+        """A socket worker started with ``--cache DIR`` populates the
+        shared result cache on the first campaign and answers the
+        identical second campaign from disk (outcomes arrive marked
+        ``reused_from: cache``), without the coordinator configuring any
+        cache of its own."""
+        import os
+        import subprocess
+        import sys
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        cache_dir = tmp_path / "shared-cache"
+        scenarios = small_scenarios(methods=("er",), budgets=(1e-3,))
+
+        def worker_process():
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro.campaign.worker",
+                 "--connect", f"127.0.0.1:{port}",
+                 "--cache", str(cache_dir), "--connect-window", "60"],
+                env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+
+        def run_once():
+            worker = worker_process()
+            try:
+                backend = SocketBackend(port=port, spawn=False,
+                                        heartbeat_timeout=30.0,
+                                        accept_timeout=60.0)
+                campaign = run_campaign(scenarios, base_options=FAST_OPTIONS,
+                                        backend=backend)
+                assert worker.wait(timeout=10) == 0
+                return campaign
+            finally:
+                if worker.poll() is None:
+                    worker.kill()
+
+        first = run_once()
+        assert first.num_ok == len(scenarios)
+        assert all(o.reused_from is None for o in first)
+        assert cache_dir.exists() and len(list(cache_dir.glob("*.json"))) == \
+            len(scenarios)
+
+        second = run_once()
+        assert second.num_ok == len(scenarios)
+        assert all(o.reused_from == "cache" for o in second)
+        for a, b in zip(first, second):
+            assert a.deterministic_summary() == b.deterministic_summary()
+
+
 class TestSocketProtocol:
     def test_handshake_task_result_cycle_and_protocol_rejection(self):
         """Drive the coordinator by hand: a wrong-protocol client is
@@ -261,6 +323,7 @@ class TestResolveBackend:
         assert isinstance(resolve_backend("process"), ProcessPoolBackend)
         assert isinstance(resolve_backend("pool"), ProcessPoolBackend)
         assert isinstance(resolve_backend("socket"), SocketBackend)
+        assert isinstance(resolve_backend("queue"), QueueBackend)
 
     def test_auto_picks_serial_for_one_scenario(self):
         assert isinstance(resolve_backend("auto", num_scenarios=1), SerialBackend)

@@ -146,3 +146,86 @@ class TestResultCache:
         run_campaign(scenarios, base_options=FAST_OPTIONS, mode="serial",
                      cache=cache)
         assert len(cache) == len(scenarios)
+
+
+class TestAtomicPut:
+    """PR-5 concurrency hardening: many service workers, one directory."""
+
+    def outcome_dict(self, scenario):
+        return {
+            "scenario": scenario.to_dict(),
+            "status": "ok",
+            "summary": {"#step": 5},
+        }
+
+    def test_put_leaves_no_temp_files_and_is_invisible_to_len(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        scenario = Scenario(name="s",
+                            circuit=CircuitSpec("rc_ladder",
+                                                {"num_segments": 3}))
+        cache.put(scenario, "ctx", self.outcome_dict(scenario))
+        names = [p.name for p in (tmp_path / "cache").iterdir()]
+        assert len(names) == 1
+        assert names[0].endswith(".json")
+        assert len(cache) == 1
+
+    def test_get_by_key_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        scenario = Scenario(name="s",
+                            circuit=CircuitSpec("rc_ladder",
+                                                {"num_segments": 3}))
+        cache.put(scenario, "ctx", self.outcome_dict(scenario))
+        entry = cache.get_by_key(cache.key(scenario, "ctx"))
+        assert entry["status"] == "ok"
+        assert entry["reused_from"] == "cache"
+        assert cache.get_by_key("no-such-key") is None
+
+    def test_concurrent_writers_and_readers_never_see_torn_entries(
+            self, tmp_path):
+        """Hammer one entry from writer threads while readers poll: every
+        read is either a miss (before the first write lands) or a fully
+        formed outcome -- never a ValueError, never a partial dict."""
+        import threading
+
+        cache = ResultCache(tmp_path / "cache")
+        scenario = Scenario(name="s",
+                            circuit=CircuitSpec("rc_ladder",
+                                                {"num_segments": 3}))
+        ctx = "ctx"
+        stop = threading.Event()
+        problems = []
+
+        def writer(tag):
+            data = self.outcome_dict(scenario)
+            data["summary"]["writer"] = tag
+            while not stop.is_set():
+                try:
+                    cache.put(scenario, ctx, data)
+                except Exception as exc:  # noqa: BLE001
+                    problems.append(("put", repr(exc)))
+                    return
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    entry = cache.get(scenario, ctx)
+                except Exception as exc:  # noqa: BLE001
+                    problems.append(("get", repr(exc)))
+                    return
+                if entry is not None and entry.get("status") != "ok":
+                    problems.append(("torn", entry))
+                    return
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        import time as time_module
+        time_module.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert problems == []
+        assert len(cache) == 1
+        final = cache.get(scenario, ctx)
+        assert final["status"] == "ok"

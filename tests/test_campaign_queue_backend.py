@@ -1,0 +1,207 @@
+"""Queue-backend specifics beyond the shared backend-contract suite.
+
+The equivalence / timeout / failure-capture contract is covered by
+``tests/test_campaign_backends.py`` (parameterized over every backend,
+including ``queue``).  Here: broker-level fault tolerance with real
+worker subprocesses (crash -> lease expiry -> redelivery), bounded
+redelivery of poison scenarios, job dedupe across campaigns sharing one
+broker, and the scheduler's cost-model persistence through the cache
+directory.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CircuitSpec,
+    QueueBackend,
+    ResultCache,
+    Scenario,
+    grid_sweep,
+    history_path_for,
+    load_history,
+    resolve_backend,
+    run_campaign,
+)
+from repro.core.options import SimOptions
+from repro.service.broker import JobBroker
+
+FAST_OPTIONS = SimOptions(t_stop=0.1e-9, h_init=2e-12, store_states=False)
+
+
+def small_scenarios(methods=("er",), budgets=(1e-3,)):
+    return grid_sweep(
+        circuits=[("rc_mesh", {"rows": 4, "cols": 4, "coupling_fraction": 0.5})],
+        methods=list(methods),
+        option_grid={"err_budget": list(budgets)},
+        observe=["n2_2"],
+    )
+
+
+class TestResolveQueueBackend:
+    def test_name_resolves(self):
+        backend = resolve_backend("queue", workers=2)
+        assert isinstance(backend, QueueBackend)
+        assert backend.workers == 2
+
+    def test_mode_string_accepted(self):
+        campaign = run_campaign(small_scenarios(), base_options=FAST_OPTIONS,
+                                mode="queue", workers=2)
+        assert campaign.metadata["mode"] == "queue"
+        assert campaign.num_ok == len(campaign)
+
+    def test_metadata_records_broker(self, tmp_path):
+        backend = QueueBackend(broker=tmp_path / "q.sqlite3", workers=1)
+        campaign = run_campaign(small_scenarios(), base_options=FAST_OPTIONS,
+                                backend=backend)
+        assert campaign.metadata["broker"] == str(tmp_path / "q.sqlite3")
+        assert campaign.metadata["workers"] == 1
+
+
+class TestFaultTolerance:
+    def test_worker_death_redelivers_job(self, tmp_path):
+        """A queue worker that dies mid-scenario stops extending its
+        lease; the visibility timeout expires and a sibling picks the
+        job up (the flag file makes the crash one-shot)."""
+        flag = tmp_path / "crash.flag"
+        scenarios = [
+            Scenario(
+                name="killer",
+                circuit=CircuitSpec("die_once", {"flag_path": str(flag)},
+                                    module="_campaign_death_factory"),
+                method="er", options={"t_stop": 0.05e-9},
+            ),
+            Scenario(
+                name="bystander",
+                circuit=CircuitSpec("rc_ladder", {"num_segments": 3}),
+                method="er", options={"t_stop": 0.05e-9},
+            ),
+        ]
+        backend = QueueBackend(workers=2, lease_seconds=2.0, max_attempts=3)
+        campaign = run_campaign(scenarios, backend=backend)
+        assert flag.exists(), "the crash factory never fired"
+        assert campaign.outcome_for("killer").status == "ok"
+        assert campaign.outcome_for("bystander").status == "ok"
+
+    def test_poison_scenario_fails_bounded(self, tmp_path):
+        """A scenario that kills every worker it touches exhausts its
+        attempt budget and comes back as an error outcome instead of
+        cycling through the fleet forever."""
+        scenarios = [
+            Scenario(
+                name="fatal",
+                circuit=CircuitSpec(
+                    "die_once",
+                    {"flag_path": str(tmp_path / "x.flag"), "always": True},
+                    module="_campaign_death_factory"),
+                method="er", options={"t_stop": 0.05e-9},
+            ),
+        ]
+        backend = QueueBackend(workers=2, lease_seconds=1.0, max_attempts=2)
+        campaign = run_campaign(scenarios, backend=backend)
+        outcome = campaign.outcome_for("fatal")
+        assert outcome.status == "error"
+        assert "budget exhausted" in outcome.error or "fleet exited" in outcome.error
+
+
+class TestSharedBroker:
+    def test_second_campaign_reuses_done_jobs(self, tmp_path):
+        """Two campaigns sharing one broker coalesce on job identity:
+        the repeat run simulates nothing (its jobs are already done)."""
+        broker_path = tmp_path / "q.sqlite3"
+        scenarios = small_scenarios(methods=("er", "benr"))
+        first = run_campaign(scenarios, base_options=FAST_OPTIONS,
+                             backend=QueueBackend(broker=broker_path, workers=2))
+        assert first.num_ok == len(scenarios)
+        sims_before = JobBroker(broker_path).counters().get("simulations", 0)
+        assert sims_before == len(scenarios)
+
+        second = run_campaign(scenarios, base_options=FAST_OPTIONS,
+                              backend=QueueBackend(broker=broker_path,
+                                                   workers=2))
+        assert second.num_ok == len(scenarios)
+        sims_after = JobBroker(broker_path).counters().get("simulations", 0)
+        assert sims_after == sims_before, \
+            "repeat campaign through a shared broker must not re-simulate"
+        # adopted-from-the-queue outcomes are marked, so campaign policy
+        # (history records, reports) does not mistake them for fresh runs
+        assert all(o.reused_from == "queue" for o in second)
+        assert all(o.reused_from is None for o in first)
+        for a, b in zip(first, second):
+            assert a.deterministic_summary() == b.deterministic_summary()
+
+    def test_identical_content_within_campaign_simulates_once(self, tmp_path):
+        """Scenario name/tags are outside the job identity: two scenarios
+        with equal content map to one job and both outcomes carry their
+        own labels."""
+        base = Scenario(
+            name="first",
+            circuit=CircuitSpec("rc_ladder", {"num_segments": 3}),
+            method="er", options={"t_stop": 0.05e-9},
+        )
+        twin = Scenario(
+            name="second",
+            circuit=CircuitSpec("rc_ladder", {"num_segments": 3}),
+            method="er", options={"t_stop": 0.05e-9},
+            tags={"copy": True},
+        )
+        broker_path = tmp_path / "q.sqlite3"
+        campaign = run_campaign(
+            [base, twin],
+            backend=QueueBackend(broker=broker_path, workers=1))
+        assert campaign.outcome_for("first").status == "ok"
+        assert campaign.outcome_for("second").status == "ok"
+        assert campaign.outcome_for("second").scenario.tags == {"copy": True}
+        # the twin's delivery is a coalesced copy, not a second run
+        assert campaign.outcome_for("first").reused_from is None
+        assert campaign.outcome_for("second").reused_from == "queue"
+        assert JobBroker(broker_path).counters()["simulations"] == 1
+
+
+class TestQueueWorkersShareCache:
+    def test_data_dir_campaigns_populate_and_hit_the_cache(self, tmp_path):
+        """With a service data directory, spawned workers consult the
+        shared ResultCache -- a wiped broker still answers warm."""
+        data = tmp_path / "svc"
+        scenarios = small_scenarios()
+        first = run_campaign(scenarios, base_options=FAST_OPTIONS,
+                             backend=QueueBackend(data_dir=data, workers=1))
+        assert first.num_ok == len(scenarios)
+        broker_path = data / "broker.sqlite3"
+        assert broker_path.exists()
+        # wipe the broker (results gone; the -wal/-shm sidecars too) but
+        # keep the cache: the rerun's jobs are fresh, yet the worker
+        # answers them from disk
+        for stale in data.glob("broker.sqlite3*"):
+            stale.unlink()
+        second = run_campaign(scenarios, base_options=FAST_OPTIONS,
+                              backend=QueueBackend(data_dir=data, workers=1))
+        assert second.num_ok == len(scenarios)
+        counters = JobBroker(broker_path).counters()
+        assert counters.get("worker_cache_hits", 0) == len(scenarios)
+        assert counters.get("simulations", 0) == 0
+
+    def test_worker_history_feeds_adaptive_campaigns_without_duplicates(
+            self, tmp_path):
+        """Queue workers append the cost-model records into the cache
+        directory's history file -- the same file adaptive campaigns
+        load -- and the runner does not append a second record for work
+        a recording backend executed."""
+        data = tmp_path / "svc"
+        cache_dir = data / "cache"
+        scenarios = small_scenarios(methods=("er", "benr"))
+        run_campaign(scenarios, base_options=FAST_OPTIONS,
+                     cache=ResultCache(cache_dir),
+                     backend=QueueBackend(data_dir=data, workers=1))
+        model = load_history(history_path_for(cache_dir))
+        assert model.num_records == len(scenarios), \
+            "one history record per executed scenario (no double append)"
+        # a first-run adaptive campaign over *new* scenario content gets
+        # predictions purely from the workers' persisted records
+        fresh = small_scenarios(methods=("er",), budgets=(5e-4,))
+        campaign = run_campaign(fresh, base_options=FAST_OPTIONS,
+                                cache=ResultCache(cache_dir),
+                                schedule="adaptive", backend="serial")
+        record = campaign.metadata["schedule"]
+        assert record["history_records"] == len(scenarios)
+        assert all(v is not None
+                   for v in record["predicted_seconds"].values())

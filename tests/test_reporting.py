@@ -120,3 +120,43 @@ class TestFigure2Report:
         report = figure2_accuracy_report("node", ref)
         report.add("M1", Signal(t, np.full(50, 0.5), "M1"))
         assert report.comparisons["M1"].max_abs_error == pytest.approx(0.5)
+
+
+class TestServiceStatsTable:
+    def stats_document(self):
+        return {
+            "uptime_seconds": 12.5,
+            "broker": {"path": "/tmp/b", "jobs": {"queued": 1, "leased": 2,
+                                                  "done": 7, "failed": 0}},
+            "counters": {"admitted": 10, "coalesced": 4, "cache_answers": 6,
+                         "simulations": 10, "worker_cache_hits": 3},
+            "cache": {"root": "/tmp/c", "entries": 7},
+            "runtime_model": {"records": 10, "pairs": 4},
+            "campaigns": 2,
+        }
+
+    def test_rows_cover_every_section(self):
+        from repro.reporting import service_stats_rows
+
+        rows = service_stats_rows(self.stats_document())
+        sections = {row[0] for row in rows}
+        assert sections == {"queue", "admission", "workers", "cache",
+                            "cost model", "service"}
+        by_metric = {(row[0], row[1]): row[2] for row in rows}
+        assert by_metric[("admission", "submissions")] == 20
+        assert by_metric[("admission", "saved fraction")] == pytest.approx(0.5)
+        assert by_metric[("workers", "simulations")] == 10
+
+    def test_render_is_aligned_table(self):
+        from repro.reporting import render_service_stats
+
+        table = render_service_stats(self.stats_document())
+        lines = table.splitlines()
+        assert lines[0].startswith("section")
+        assert all("|" in line for line in lines if line and "-+-" not in line)
+
+    def test_render_tolerates_minimal_document(self):
+        from repro.reporting import render_service_stats
+
+        table = render_service_stats({})
+        assert "queued" in table and "simulations" in table

@@ -1,0 +1,156 @@
+"""Cost-model persistence: save/load of per-(circuit, method) runtimes.
+
+``schedule="adaptive"`` used to refit its runtime model per campaign;
+these tests lock in the persistent path: records appended next to the
+result cache (or by service workers, next to the broker), loaded
+automatically so *first-run* campaigns get real LPT predictions.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CircuitSpec,
+    ResultCache,
+    RuntimeModel,
+    Scenario,
+    ScenarioOutcome,
+    append_history,
+    history_path_for,
+    load_history,
+    run_campaign,
+    save_history,
+)
+from repro.campaign.schedule import (
+    record_from_outcome,
+    record_from_outcome_dict,
+)
+from repro.core.options import SimOptions
+
+FAST_OPTIONS = SimOptions(t_stop=0.05e-9, h_init=2e-12, store_states=False)
+
+
+def outcome(circuit="rc_ladder", params=None, method="er", runtime=1.0,
+            nnz=10, status="ok", name="s"):
+    scenario = Scenario(name=name,
+                        circuit=CircuitSpec(circuit, params or {"num_segments": 3}),
+                        method=method)
+    out = ScenarioOutcome(scenario=scenario, status=status,
+                          runtime_seconds=runtime)
+    if nnz:
+        out.structure = {"nnzC": nnz, "nnzG": nnz}
+    return out
+
+
+class TestRecords:
+    def test_record_from_outcome(self):
+        record = record_from_outcome(outcome(runtime=2.5, nnz=7))
+        assert record["method"] == "er"
+        assert record["runtime_seconds"] == 2.5
+        assert record["nnz"] == 14.0
+        assert "rc_ladder" in record["circuit"]
+
+    def test_non_ok_and_zero_runtime_produce_no_record(self):
+        assert record_from_outcome(outcome(status="error")) is None
+        assert record_from_outcome(outcome(runtime=0.0)) is None
+
+    def test_record_from_outcome_dict_matches_object_path(self):
+        obj = outcome(runtime=1.5)
+        assert record_from_outcome_dict(obj.to_dict()) == \
+            record_from_outcome(obj)
+
+    def test_record_from_outcome_dict_rejects_garbage(self):
+        assert record_from_outcome_dict({}) is None
+        assert record_from_outcome_dict({"status": "ok"}) is None
+        assert record_from_outcome_dict(
+            {"status": "ok", "runtime_seconds": "soon",
+             "scenario": {"circuit": {"factory": "x"}}}) is None
+
+
+class TestHistoryFile:
+    def test_save_then_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        written = save_history(path, [
+            outcome(runtime=1.0), outcome(runtime=3.0),
+            outcome(method="benr", runtime=8.0),
+            outcome(status="error"),  # dropped
+        ])
+        assert written == 3
+        model = load_history(path)
+        assert model.num_records == 3
+        assert model.num_pairs == 2
+        # mean of the two er runs
+        assert model.predict(outcome().scenario) == pytest.approx(2.0)
+        assert model.predict(outcome(method="benr").scenario) == pytest.approx(8.0)
+
+    def test_append_accumulates_across_calls(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, [record_from_outcome(outcome(runtime=1.0))])
+        append_history(path, [record_from_outcome(outcome(runtime=2.0))])
+        assert load_history(path).num_records == 2
+
+    def test_load_tolerates_missing_and_torn_lines(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl").num_records == 0
+        path = tmp_path / "history.jsonl"
+        save_history(path, [outcome(runtime=1.0)])
+        with open(path, "a") as handle:
+            handle.write('{"circuit": "x", "met')  # torn concurrent append
+        model = load_history(path)
+        assert model.num_records == 1
+
+    def test_unknown_circuit_without_nnz_has_no_prediction(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        save_history(path, [outcome(runtime=1.0)])
+        other = Scenario(name="o", circuit=CircuitSpec("rc_mesh", {"rows": 2}),
+                         method="er")
+        assert load_history(path).predict(other) is None
+
+
+class TestAdaptiveCampaignPersistence:
+    def scenarios(self):
+        return [
+            Scenario(name="small", method="er",
+                     circuit=CircuitSpec("rc_ladder", {"num_segments": 3})),
+            Scenario(name="big", method="er",
+                     circuit=CircuitSpec("rc_ladder", {"num_segments": 24})),
+        ]
+
+    def test_first_run_writes_history_next_to_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        campaign = run_campaign(self.scenarios(), base_options=FAST_OPTIONS,
+                                backend="serial", cache=cache)
+        history = history_path_for(cache.root)
+        assert history.exists()
+        model = load_history(history)
+        assert model.num_records == len(campaign)
+        assert model.num_pairs == 2  # two distinct circuits, one method
+
+    def test_fresh_campaign_gets_predictions_from_persisted_history(
+            self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_campaign(self.scenarios(), base_options=FAST_OPTIONS,
+                     backend="serial", cache=ResultCache(cache_dir))
+        # same scenarios, *empty* cache knowledge path: wipe the entries
+        # but keep the history -- nothing can be adopted, yet the
+        # adaptive schedule is fitted from the persisted records
+        for entry in cache_dir.glob("*.json"):
+            entry.unlink()
+        campaign = run_campaign(self.scenarios(), base_options=FAST_OPTIONS,
+                                backend="serial", cache=ResultCache(cache_dir),
+                                schedule="adaptive")
+        record = campaign.metadata["schedule"]
+        assert record["policy"] == "adaptive"
+        assert record["history_records"] == 2
+        predicted = record["predicted_seconds"]
+        assert predicted["small"] is not None
+        assert predicted["big"] is not None
+
+    def test_adopted_outcomes_do_not_duplicate_history_records(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_campaign(self.scenarios(), base_options=FAST_OPTIONS,
+                     backend="serial", cache=cache)
+        # warm rerun adopts everything from the cache: no new records
+        run_campaign(self.scenarios(), base_options=FAST_OPTIONS,
+                     backend="serial", cache=cache)
+        assert load_history(history_path_for(cache.root)).num_records == 2

@@ -21,8 +21,15 @@ from repro.campaign.backends.base import (
     WorkItem,
 )
 from repro.campaign.execution import execute_scenario, reset_worker_caches
+from repro.telemetry import metrics as telemetry
 
 __all__ = ["SerialBackend", "ProcessPoolBackend", "default_workers"]
+
+#: shared by every backend: one increment per scenario handed to an
+#: executor (the queue backend counts enqueues, tcp counts task sends)
+_TM_DISPATCHES = telemetry.counter(
+    "repro_campaign_dispatches_total",
+    "Scenarios dispatched to an execution backend.", ("backend",))
 
 
 def default_workers(num_scenarios: int) -> int:
@@ -40,6 +47,7 @@ class SerialBackend(ExecutionBackend):
         # mirror the lifetime of a spawned worker's caches: fresh per campaign
         reset_worker_caches()
         for index, payload in items:
+            _TM_DISPATCHES.labels(self.name).inc()
             deliver(index, execute_scenario(
                 payload, context.base_options, context.timeout,
                 context.sample_points,
@@ -70,6 +78,7 @@ class ProcessPoolBackend(ExecutionBackend):
         workers = self.pool_size(len(items))
         self._resolved_workers = workers
         with ProcessPoolExecutor(max_workers=workers) as pool:
+            _TM_DISPATCHES.labels(self.name).inc(len(items))
             pending = {
                 pool.submit(execute_scenario, payload, context.base_options,
                             context.timeout, context.sample_points): (index, payload)

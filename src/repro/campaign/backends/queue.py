@@ -47,7 +47,7 @@ from repro.campaign.backends.base import (
     ExecutionContext,
     WorkItem,
 )
-from repro.campaign.backends.local import default_workers
+from repro.campaign.backends.local import _TM_DISPATCHES, default_workers
 from repro.campaign.cache import context_hash
 from repro.campaign.scenario import scenario_hash
 
@@ -137,6 +137,7 @@ class QueueBackend(ExecutionBackend):
             if first_occurrence:
                 # earlier dispatch position -> higher priority, so the
                 # scheduler's order survives the queue
+                _TM_DISPATCHES.labels(self.name).inc()
                 job = broker.enqueue(payload, context=context_data,
                                      priority=len(items) - position,
                                      job_id=job_id,

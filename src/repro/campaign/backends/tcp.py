@@ -60,9 +60,15 @@ from repro.campaign.backends.base import (
     ExecutionContext,
     WorkItem,
 )
-from repro.campaign.backends.local import default_workers
+from repro.campaign.backends.local import _TM_DISPATCHES, default_workers
+from repro.telemetry import metrics as telemetry
 
 __all__ = ["SocketBackend", "send_message", "recv_message", "PROTOCOL_VERSION"]
+
+_TM_REDISPATCHES = telemetry.counter(
+    "repro_campaign_redispatches_total",
+    "Scenarios re-dispatched after their worker died mid-execution.",
+    ("backend",))
 
 PROTOCOL_VERSION = 1
 
@@ -181,6 +187,8 @@ class SocketBackend(ExecutionBackend):
                     work_ready.notify()
             if exhausted:
                 _fail(index, error)
+            else:
+                _TM_REDISPATCHES.labels(self.name).inc()
 
         def _handle_worker(conn: socket.socket, peer) -> None:
             in_flight: Optional[int] = None
@@ -205,6 +213,7 @@ class SocketBackend(ExecutionBackend):
                         index = queue.popleft()
                         attempts[index] += 1
                     in_flight = index
+                    _TM_DISPATCHES.labels(self.name).inc()
                     send_message(conn, {
                         "type": "task", "index": index,
                         "scenario": payload_by_index[index],

@@ -24,8 +24,45 @@ from repro.core.options import SimOptions
 from repro.core.results import RunStatistics, SimulationResult, StepRecord
 from repro.core.workspace import LinearizationCache
 from repro.linalg.sparse_lu import FactorizationBudgetExceeded
+from repro.telemetry import metrics as telemetry
 
 __all__ = ["IntegratorError", "ConvergenceError", "StepOutcome", "Integrator"]
+
+# process-local run telemetry, published once per run() (not per step --
+# the hot loop already accumulates into RunStatistics; telemetry only
+# folds the per-run deltas into the process-wide registry, which queue
+# workers ship to the service front end for fleet-wide /metrics)
+_TM_RUNS = telemetry.counter(
+    "repro_integrator_runs_total",
+    "Transient runs finished, by method and completion.",
+    ("method", "completed"))
+_TM_STEPS = telemetry.counter(
+    "repro_integrator_steps_total",
+    "Accepted time steps, by method.", ("method",))
+_TM_REJECTIONS = telemetry.counter(
+    "repro_integrator_rejections_total",
+    "Rejected step attempts, by method.", ("method",))
+_TM_NEWTON = telemetry.counter(
+    "repro_integrator_newton_iterations_total",
+    "Newton iterations across all steps, by method.", ("method",))
+_TM_LU = telemetry.counter(
+    "repro_integrator_lu_factorizations_total",
+    "Real LU factorizations performed (the Table-I #LU work).", ("method",))
+_TM_LU_REUSED = telemetry.counter(
+    "repro_integrator_lu_reused_total",
+    "Exact cross-step LU reuses served by the linearization cache.",
+    ("method",))
+_TM_LU_BYPASSED = telemetry.counter(
+    "repro_integrator_lu_bypassed_total",
+    "SPICE-style bypass reuses of a slightly stale factorization.",
+    ("method",))
+_TM_BASIS_REUSES = telemetry.counter(
+    "repro_integrator_basis_reuses_total",
+    "Krylov MEVP evaluations served from a reused segment-slope basis.",
+    ("method",))
+_TM_RUN_SECONDS = telemetry.histogram(
+    "repro_integrator_run_seconds",
+    "Wall-clock seconds per transient run.", ("method",))
 
 
 class IntegratorError(RuntimeError):
@@ -138,6 +175,10 @@ class Integrator(ABC):
         # PWL drives quadratic in the breakpoint count
         bp_cursor = 0
 
+        # run() may be handed a result that already carries statistics
+        # (resumed aggregation); telemetry publishes this run's deltas only
+        stats_before = self._stats_snapshot()
+
         result.start_clock()
         result.record_point(t, x)
         self.prepare(x, t)
@@ -169,4 +210,36 @@ class Integrator(ABC):
             result.stats.failure_reason = f"{type(exc).__name__}: {exc}"
         finally:
             result.stop_clock()
+            self._publish_telemetry(stats_before)
         return result
+
+    # -- telemetry ---------------------------------------------------------------------
+
+    def _stats_snapshot(self):
+        stats = self.stats
+        return (stats.num_steps, stats.num_rejections,
+                stats.total_newton_iterations, stats.lu.num_factorizations,
+                stats.lu.num_reused, stats.lu.num_bypassed,
+                stats.mevp.num_basis_reuses, stats.runtime_seconds)
+
+    def _publish_telemetry(self, before) -> None:
+        after = self._stats_snapshot()
+        deltas = [max(0, b - a) for a, b in zip(before, after)]
+        steps, rejections, newton, lu, reused, bypassed, basis, seconds = deltas
+        method = self.name
+        _TM_RUNS.labels(method, "yes" if self.stats.completed else "no").inc()
+        if steps:
+            _TM_STEPS.labels(method).inc(steps)
+        if rejections:
+            _TM_REJECTIONS.labels(method).inc(rejections)
+        if newton:
+            _TM_NEWTON.labels(method).inc(newton)
+        if lu:
+            _TM_LU.labels(method).inc(lu)
+        if reused:
+            _TM_LU_REUSED.labels(method).inc(reused)
+        if bypassed:
+            _TM_LU_BYPASSED.labels(method).inc(bypassed)
+        if basis:
+            _TM_BASIS_REUSES.labels(method).inc(basis)
+        _TM_RUN_SECONDS.labels(method).observe(seconds)

@@ -44,6 +44,26 @@ def service_stats_rows(stats: Dict[str, object]) -> List[List[object]]:
     if counters.get("late_acks"):
         rows.append(["workers", "late acks", counters["late_acks"]])
 
+    backpressure = stats.get("backpressure") or {}
+    if backpressure.get("max_queue_depth") is not None or \
+            backpressure.get("rejections"):
+        rows += [
+            ["backpressure", "max queue depth",
+             backpressure.get("max_queue_depth")],
+            ["backpressure", "rejections (429)",
+             backpressure.get("rejections", 0)],
+        ]
+
+    # per-worker digests only exist when at least one worker published a
+    # metrics snapshot recently (older documents have no "workers" key)
+    workers = stats.get("workers") or {}
+    for worker_id in sorted(workers):
+        worker = workers[worker_id]
+        state = "busy" if worker.get("busy") else "idle"
+        rows.append(["fleet", worker_id,
+                     f"{state}, {worker.get('num_executed', 0)} executed, "
+                     f"{worker.get('num_cache_hits', 0)} cache hits"])
+
     cache = stats.get("cache") or {}
     rows.append(["cache", "entries", cache.get("entries", 0)])
     model = stats.get("runtime_model") or {}

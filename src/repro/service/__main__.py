@@ -1,4 +1,4 @@
-"""Service CLI: ``python -m repro.service <serve|worker|submit|status>``.
+"""Service CLI: ``python -m repro.service <serve|worker|submit|status|gc>``.
 
 A laptop fleet is two shell commands::
 
@@ -10,6 +10,11 @@ then submit work over HTTP from anywhere::
     python -m repro.service submit --url http://localhost:8080 \
         --circuit rc_ladder --params '{"num_segments": 40}' --method er --wait
     python -m repro.service status --url http://localhost:8080
+
+watch the fleet live (``python -m repro.watch --url http://...``),
+scrape ``/metrics`` with Prometheus, and keep a long-lived broker lean::
+
+    python -m repro.service gc --data ./svc --max-age 7d --keep 10000
 """
 
 from __future__ import annotations
@@ -58,6 +63,9 @@ def cmd_serve(argv) -> int:
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--workers", type=int, default=0,
                         help="also spawn this many local queue workers")
+    parser.add_argument("--max-queue-depth", type=int, default=None,
+                        help="reject submissions with 429 + Retry-After "
+                             "while this many jobs are already queued")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
     args = parser.parse_args(argv)
@@ -68,7 +76,8 @@ def cmd_serve(argv) -> int:
     )
     from repro.service.server import ServiceServer
 
-    server = ServiceServer(data_dir=args.data, host=args.host, port=args.port)
+    server = ServiceServer(data_dir=args.data, host=args.host, port=args.port,
+                           max_queue_depth=args.max_queue_depth)
     server.httpd.RequestHandlerClass.verbose = args.verbose
     processes = [
         spawn_module_worker("repro.service.worker", ["--data", args.data])
@@ -162,6 +171,72 @@ def cmd_submit(argv) -> int:
     return 0
 
 
+# -- gc --------------------------------------------------------------------------------
+
+
+def _parse_age(text: str) -> float:
+    """Seconds from ``"3600"``, ``"90m"``, ``"24h"``, or ``"7d"``."""
+    text = text.strip().lower()
+    scale = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}.get(text[-1:])
+    if scale is not None:
+        return float(text[:-1]) * scale
+    return float(text)
+
+
+def cmd_gc(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service gc",
+        description="Apply retention to terminal jobs and VACUUM the broker.")
+    parser.add_argument("--data", metavar="DIR", default=None,
+                        help="service data directory")
+    parser.add_argument("--broker", metavar="FILE", default=None,
+                        help="broker database path (overrides --data layout)")
+    parser.add_argument("--max-age", metavar="AGE", default=None,
+                        help="delete done/failed jobs older than AGE "
+                             "(seconds, or suffixed: 90m, 24h, 7d)")
+    parser.add_argument("--keep", type=int, default=None,
+                        help="keep at most this many terminal jobs "
+                             "(newest first)")
+    parser.add_argument("--no-vacuum", action="store_true",
+                        help="skip the SQLite VACUUM after deleting")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report what would be deleted, change nothing")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    args = parser.parse_args(argv)
+
+    if args.data is None and args.broker is None:
+        parser.error("one of --data or --broker is required")
+    if args.max_age is None and args.keep is None and not args.dry_run:
+        parser.error("nothing to do: give --max-age and/or --keep "
+                     "(or --dry-run to preview a pure VACUUM)")
+
+    from repro.service import layout
+    from repro.service.broker import JobBroker
+
+    broker = JobBroker(args.broker) if args.broker else \
+        layout.open_broker(args.data)
+    report = broker.gc(
+        max_age=_parse_age(args.max_age) if args.max_age else None,
+        keep=args.keep,
+        vacuum=not args.no_vacuum,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    verb = "would delete" if report["dry_run"] else "deleted"
+    print(f"{broker.path}: {verb} {report['deleted_jobs']} terminal job(s) "
+          f"({report['deleted_by_age']} by age, "
+          f"{report['deleted_by_count']} by count) and "
+          f"{report['deleted_worker_snapshots']} stale worker snapshot(s); "
+          f"{report['remaining_jobs']} job(s) remain")
+    if report["vacuumed"]:
+        print(f"vacuumed: {report['bytes_before']} -> "
+              f"{report['bytes_after']} bytes")
+    return 0
+
+
 # -- status ----------------------------------------------------------------------------
 
 
@@ -189,6 +264,7 @@ COMMANDS = {
     "worker": cmd_worker,
     "submit": cmd_submit,
     "status": cmd_status,
+    "gc": cmd_gc,
 }
 
 

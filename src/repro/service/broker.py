@@ -49,7 +49,37 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
+from repro.telemetry import metrics as telemetry
+
 __all__ = ["Job", "JobBroker", "JOB_STATUSES"]
+
+# queue-lifecycle telemetry (process-local: the front end counts the
+# enqueues it performs, each worker counts the leases/acks it performs;
+# the durable `counters` table below remains the fleet-wide total that
+# survives restarts)
+_TM_ENQUEUES = telemetry.counter(
+    "repro_broker_enqueues_total",
+    "Jobs inserted (or reset after failure) into the queue.")
+_TM_COALESCED = telemetry.counter(
+    "repro_broker_enqueue_coalesced_total",
+    "Enqueue calls answered by an existing live job (dedupe hits).")
+_TM_LEASES = telemetry.counter(
+    "repro_broker_leases_total", "Jobs leased to workers.")
+_TM_REDELIVERIES = telemetry.counter(
+    "repro_broker_redeliveries_total",
+    "Leases granted on jobs whose previous lease expired (worker crash).")
+_TM_POISONED = telemetry.counter(
+    "repro_broker_poisoned_total",
+    "Jobs failed for exhausting their attempt budget without an ack.")
+_TM_ACKS = telemetry.counter(
+    "repro_broker_acks_total",
+    "Ack attempts, by acceptance (late acks are rejected).", ("accepted",))
+_TM_NACKS = telemetry.counter(
+    "repro_broker_nacks_total",
+    "Jobs handed back by workers, by disposition.", ("requeued",))
+_TM_GC_DELETED = telemetry.counter(
+    "repro_broker_gc_deleted_total",
+    "Terminal jobs deleted by retention sweeps.")
 
 #: lifecycle of one job
 JOB_STATUSES = ("queued", "leased", "done", "failed")
@@ -84,6 +114,11 @@ CREATE INDEX IF NOT EXISTS jobs_runnable
 CREATE TABLE IF NOT EXISTS counters (
     name TEXT PRIMARY KEY,
     value INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS worker_metrics (
+    worker_id TEXT PRIMARY KEY,
+    snapshot TEXT NOT NULL,
+    updated_at REAL NOT NULL
 );
 """
 
@@ -238,6 +273,7 @@ class JobBroker:
                 stale = job.status == "failed" or (
                     job.status == "done" and job.result_status != "ok")
                 if not stale:
+                    _TM_COALESCED.inc()
                     return job  # coalesced: job.fresh stays False
                 conn.execute(
                     "UPDATE jobs SET status='queued', attempts=0,"
@@ -257,6 +293,7 @@ class JobBroker:
                     (job_id, kind, json.dumps(payload, default=repr),
                      json.dumps(context, default=repr) if context else None,
                      int(priority), budget, now))
+        _TM_ENQUEUES.inc()
         job = self.get(job_id)
         job.fresh = True
         return job
@@ -294,11 +331,16 @@ class JobBroker:
                          f"attempt budget exhausted after {job.attempts} "
                          f"lease(s) without an ack (worker crash?)",
                          job.id))
+                    _TM_POISONED.inc()
                     continue
+                if job.status == "leased":
+                    # the previous lease expired: this grant is a redelivery
+                    _TM_REDELIVERIES.inc()
                 conn.execute(
                     "UPDATE jobs SET status='leased', lease_owner=?,"
                     " lease_deadline=?, attempts=attempts+1 WHERE id=?",
                     (worker_id, now + window, job.id))
+                _TM_LEASES.inc()
                 job.status = "leased"
                 job.lease_owner = worker_id
                 job.lease_deadline = now + window
@@ -336,7 +378,9 @@ class JobBroker:
                 (json.dumps(result, default=repr),
                  str(result.get("status", "error")),
                  time.time(), job_id, worker_id))
-            return cursor.rowcount > 0
+            accepted = cursor.rowcount > 0
+            _TM_ACKS.labels("yes" if accepted else "no").inc()
+            return accepted
 
     def nack(self, job_id: str, worker_id: str, error: str,
              requeue: bool = True) -> bool:
@@ -354,11 +398,13 @@ class JobBroker:
                     "UPDATE jobs SET status='queued', lease_owner=NULL,"
                     " lease_deadline=NULL, error=? WHERE id=?",
                     (error, job_id))
+                _TM_NACKS.labels("yes").inc()
             else:
                 conn.execute(
                     "UPDATE jobs SET status='failed', lease_owner=NULL,"
                     " lease_deadline=NULL, error=?, finished_at=?"
                     " WHERE id=?", (error, now, job_id))
+                _TM_NACKS.labels("no").inc()
             return True
 
     # -- observing ---------------------------------------------------------------------
@@ -421,6 +467,132 @@ class JobBroker:
             "path": str(self.path),
             "jobs": self.depth(),
             "counters": self.counters(),
+        }
+
+    # -- fleet telemetry ---------------------------------------------------------------
+
+    def publish_worker_metrics(self, worker_id: str,
+                               snapshot: Dict[str, object]) -> None:
+        """Store one worker's metrics snapshot (idempotent upsert).
+
+        Workers publish their process-local telemetry registry (plus
+        busy/heartbeat state) through the broker because it is the one
+        piece of infrastructure every fleet member already shares; the
+        front end folds the snapshots into ``/stats`` and relabels them
+        into ``/metrics``.
+        """
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT INTO worker_metrics (worker_id, snapshot, updated_at)"
+                " VALUES (?, ?, ?) ON CONFLICT(worker_id) DO UPDATE SET"
+                " snapshot=excluded.snapshot, updated_at=excluded.updated_at",
+                (worker_id, json.dumps(snapshot, default=repr), time.time()))
+
+    def worker_metrics(self, max_age: Optional[float] = 300.0) \
+            -> Dict[str, Dict[str, object]]:
+        """Published worker snapshots fresher than ``max_age`` seconds.
+
+        Returns ``{worker_id: {"snapshot": ..., "updated_at": ...}}``;
+        a worker that stopped publishing simply ages out of the view
+        (its row is physically removed by :meth:`gc`).
+        """
+        cutoff = time.time() - max_age if max_age is not None else None
+        out: Dict[str, Dict[str, object]] = {}
+        with self._conn() as conn:
+            for row in conn.execute(
+                    "SELECT worker_id, snapshot, updated_at"
+                    " FROM worker_metrics ORDER BY worker_id"):
+                if cutoff is not None and row["updated_at"] < cutoff:
+                    continue
+                out[row["worker_id"]] = {
+                    "snapshot": json.loads(row["snapshot"]),
+                    "updated_at": row["updated_at"],
+                }
+        return out
+
+    # -- retention ---------------------------------------------------------------------
+
+    def gc(self, max_age: Optional[float] = None,
+           keep: Optional[int] = None,
+           vacuum: bool = True,
+           worker_metrics_max_age: float = 3600.0,
+           dry_run: bool = False) -> Dict[str, object]:
+        """Apply retention to terminal jobs and compact the database.
+
+        ``max_age`` deletes done/failed jobs whose ``finished_at`` is
+        older than that many seconds; ``keep`` then bounds the number of
+        terminal jobs retained (newest first).  Queued and leased jobs
+        are never touched.  Stale ``worker_metrics`` rows (no heartbeat
+        for ``worker_metrics_max_age`` seconds) are dropped in the same
+        sweep.  Deleting a done job does not lose its outcome when a
+        shared result cache is in use -- the cache entry under the same
+        key keeps answering -- so retention is safe to run aggressively
+        on cache-backed deployments.
+
+        ``dry_run`` reports what *would* be deleted without changing
+        anything.  Returns a report dict (the ``python -m repro.service
+        gc`` output).
+        """
+        now = time.time()
+        bytes_before = self.path.stat().st_size if self.path.exists() else 0
+        terminal = "status IN ('done', 'failed')"
+        deleted_by_age = deleted_by_count = deleted_snapshots = 0
+        with self._txn() as conn:
+            if max_age is not None:
+                clause = (f"{terminal} AND finished_at IS NOT NULL"
+                          " AND finished_at < ?")
+                args = (now - float(max_age),)
+                if dry_run:
+                    deleted_by_age = conn.execute(
+                        f"SELECT COUNT(*) AS n FROM jobs WHERE {clause}",
+                        args).fetchone()["n"]
+                else:
+                    deleted_by_age = conn.execute(
+                        f"DELETE FROM jobs WHERE {clause}", args).rowcount
+            if keep is not None:
+                clause = (f"{terminal} AND id NOT IN (SELECT id FROM jobs"
+                          f" WHERE {terminal} ORDER BY finished_at DESC,"
+                          " rowid DESC LIMIT ?)")
+                args = (max(0, int(keep)),)
+                if dry_run:
+                    deleted_by_count = conn.execute(
+                        f"SELECT COUNT(*) AS n FROM jobs WHERE {clause}",
+                        args).fetchone()["n"]
+                else:
+                    deleted_by_count = conn.execute(
+                        f"DELETE FROM jobs WHERE {clause}", args).rowcount
+            snap_clause = "updated_at < ?"
+            snap_args = (now - float(worker_metrics_max_age),)
+            if dry_run:
+                deleted_snapshots = conn.execute(
+                    f"SELECT COUNT(*) AS n FROM worker_metrics"
+                    f" WHERE {snap_clause}", snap_args).fetchone()["n"]
+            else:
+                deleted_snapshots = conn.execute(
+                    f"DELETE FROM worker_metrics WHERE {snap_clause}",
+                    snap_args).rowcount
+            remaining = conn.execute(
+                "SELECT COUNT(*) AS n FROM jobs").fetchone()["n"]
+        deleted_jobs = deleted_by_age + deleted_by_count
+        vacuumed = False
+        if vacuum and not dry_run:
+            with self._conn() as conn:
+                conn.execute("VACUUM")
+            vacuumed = True
+        if deleted_jobs and not dry_run:
+            _TM_GC_DELETED.inc(deleted_jobs)
+            self.incr("gc_deleted_jobs", deleted_jobs)
+        bytes_after = self.path.stat().st_size if self.path.exists() else 0
+        return {
+            "dry_run": dry_run,
+            "deleted_by_age": deleted_by_age,
+            "deleted_by_count": deleted_by_count,
+            "deleted_jobs": deleted_jobs,
+            "deleted_worker_snapshots": deleted_snapshots,
+            "remaining_jobs": remaining,
+            "vacuumed": vacuumed,
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
         }
 
     # -- runtime statistics ------------------------------------------------------------

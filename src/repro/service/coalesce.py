@@ -33,8 +33,16 @@ from repro.campaign.backends.base import ExecutionContext
 from repro.campaign.backends.queue import job_id_for
 from repro.campaign.cache import ResultCache
 from repro.service.broker import JobBroker
+from repro.telemetry import metrics as telemetry
 
 __all__ = ["Admission", "Coalescer"]
+
+_TM_ADMISSIONS = telemetry.counter(
+    "repro_coalescer_admissions_total",
+    "Scenario submissions by admission decision: cold submissions are "
+    "admitted (enqueued), in-flight duplicates coalesce onto the live "
+    "job, warm duplicates are answered from the result cache.",
+    ("decision",))
 
 
 @dataclass
@@ -78,13 +86,16 @@ class Coalescer:
             entry = self.cache.get_by_key(key)
             if entry is not None:
                 self.broker.incr("cache_answers")
+                _TM_ADMISSIONS.labels("cache").inc()
                 return Admission(key, "done", "cache", result=entry)
         job = self.broker.enqueue(payload, context=context.to_dict(),
                                   priority=priority, job_id=key)
         if job.fresh:
             self.broker.incr("admitted")
+            _TM_ADMISSIONS.labels("admitted").inc()
             return Admission(key, job.status, "admitted")
         self.broker.incr("coalesced")
+        _TM_ADMISSIONS.labels("coalesced").inc()
         return Admission(key, job.status, "coalesced")
 
     def result_for(self, job_id: str) -> Optional[Dict[str, object]]:

@@ -22,15 +22,25 @@ POST    ``/campaigns``              submit many scenarios at once (same context
                                     admission counts
 GET     ``/jobs/<id>``              job status document
 GET     ``/jobs/<id>/result``       the outcome dict (``202`` while pending)
+GET     ``/campaigns``              index of front-end-tracked campaigns
 GET     ``/campaigns/<id>``         campaign progress snapshot
 GET     ``/campaigns/<id>/stream``  chunked JSONL: one line per scenario as its
                                     result lands, then a summary line
 GET     ``/healthz``                liveness + queue depth
 GET     ``/stats``                  broker depth, coalescing counters, cache
-                                    size, persisted cost-model coverage
+                                    size, per-worker snapshots, cost-model
+                                    coverage
+GET     ``/metrics``                Prometheus text exposition: server
+                                    telemetry, derived fleet state, and every
+                                    live worker's published metrics relabeled
+                                    with ``worker="host:pid"``
 ======  ==========================  =============================================
 
-Errors are JSON too: ``{"error": ...}`` with a 4xx/5xx status.
+Errors are JSON too: ``{"error": ...}`` with a 4xx/5xx status.  When a
+``max_queue_depth`` is configured, submissions that would land on an
+already-deep queue are rejected with ``429`` and a ``Retry-After`` hint
+(queue-depth backpressure): the front end stays responsive and the
+client learns to back off instead of timing out.
 """
 
 from __future__ import annotations
@@ -51,8 +61,21 @@ from repro.core.options import SimOptions
 from repro.service import layout
 from repro.service.broker import JobBroker
 from repro.service.coalesce import Coalescer
+from repro.telemetry import REGISTRY
+from repro.telemetry import metrics as telemetry
+from repro.telemetry import prometheus
 
 __all__ = ["ServiceServer", "ApiError"]
+
+#: worker snapshots older than this are treated as departed (not shown)
+WORKER_STALE_SECONDS = 300.0
+
+_TM_REQUESTS = telemetry.counter(
+    "repro_server_requests_total",
+    "HTTP requests served, by coarse route.", ("route",))
+_TM_BACKPRESSURE = telemetry.counter(
+    "repro_server_backpressure_rejections_total",
+    "Submissions rejected with 429 because the queue was too deep.")
 
 #: maximum accepted request body (a campaign of thousands of scenarios
 #: fits comfortably; a runaway client does not take the process down)
@@ -67,9 +90,11 @@ MAX_CAMPAIGNS = 1024
 class ApiError(Exception):
     """A client-visible error with an HTTP status code."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
 
 
 def _validate_scenario(data: object) -> Dict[str, object]:
@@ -152,6 +177,7 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         poll_interval: float = 0.1,
+        max_queue_depth: Optional[int] = None,
     ):
         if broker is None:
             if data_dir is None:
@@ -163,6 +189,9 @@ class ServiceServer:
         self.cache = cache
         self.coalescer = Coalescer(broker, cache)
         self.poll_interval = float(poll_interval)
+        #: queue-depth backpressure: submissions are 429-rejected while
+        #: the ready (queued) depth is at or above this bound
+        self.max_queue_depth = max_queue_depth
         self.started_at = time.time()
         self._campaigns: Dict[str, _Campaign] = {}
         self._campaign_lock = threading.Lock()
@@ -205,7 +234,34 @@ class ServiceServer:
 
     # -- request logic (transport-free, so tests can call it directly) ----------------
 
+    def _check_backpressure(self) -> None:
+        """429-reject submissions while the ready queue is too deep.
+
+        Warm and coalescing duplicates are rejected along with cold
+        submissions: under pressure the cheap thing for the *service* is
+        to shed load before parsing scenarios at all, and the client's
+        retry will be answered from cache once the queue drains.  The
+        ``Retry-After`` hint assumes each live worker clears roughly one
+        job per second -- coarse, but it scales with the backlog.
+        """
+        if self.max_queue_depth is None:
+            return
+        ready = self.broker.depth()["queued"]
+        if ready < self.max_queue_depth:
+            return
+        live_workers = max(1, len(self.broker.worker_metrics(
+            max_age=WORKER_STALE_SECONDS)))
+        retry_after = max(1, min(60, ready // live_workers))
+        self.broker.incr("backpressure_rejections")
+        _TM_BACKPRESSURE.inc()
+        raise ApiError(
+            429,
+            f"queue depth {ready} is at or above the configured limit "
+            f"{self.max_queue_depth}; retry after {retry_after}s",
+            headers={"Retry-After": str(retry_after)})
+
     def submit_scenario(self, body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        self._check_backpressure()
         payload = _validate_scenario(body.get("scenario"))
         context = _validate_context(body)
         priority = _validate_priority(body)
@@ -216,6 +272,7 @@ class ServiceServer:
         return status, document
 
     def submit_campaign(self, body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
+        self._check_backpressure()
         scenarios = body.get("scenarios")
         if not isinstance(scenarios, list) or not scenarios:
             raise ApiError(400, "campaign needs a non-empty 'scenarios' list")
@@ -266,12 +323,72 @@ class ServiceServer:
         })
         return out
 
+    def campaign_index(self) -> Dict[str, object]:
+        """Lightweight progress of every front-end-tracked campaign.
+
+        One bulk broker read per campaign (not one per job) -- this is
+        the polling surface of the ``repro.watch`` dashboard.
+        """
+        with self._campaign_lock:
+            campaigns = list(self._campaigns.values())
+        entries: List[Dict[str, object]] = []
+        for campaign in campaigns:
+            jobs = self.broker.fetch(campaign.job_ids)
+            done = failed = 0
+            for job_id in campaign.job_ids:
+                job = jobs.get(job_id)
+                if job is None:
+                    # warm admission: never enqueued, answered from cache
+                    done += 1
+                elif job.status == "done":
+                    done += 1
+                elif job.status == "failed":
+                    failed += 1
+            entries.append({
+                "campaign_id": campaign.id,
+                "total": len(campaign.names),
+                "done": done + failed,
+                "failed": failed,
+                "finished": done + failed == len(campaign.names),
+                "created_at": campaign.created_at,
+                "status_url": f"/campaigns/{campaign.id}",
+            })
+        entries.sort(key=lambda e: e["created_at"], reverse=True)
+        return {"campaigns": entries}
+
     def _campaign(self, campaign_id: str) -> _Campaign:
         with self._campaign_lock:
             campaign = self._campaigns.get(campaign_id)
         if campaign is None:
             raise ApiError(404, f"unknown campaign {campaign_id!r}")
         return campaign
+
+    def _worker_view(self) -> Dict[str, Dict[str, object]]:
+        """Per-worker state digested from the published snapshots."""
+        now = time.time()
+        workers: Dict[str, Dict[str, object]] = {}
+        for worker_id, record in self.broker.worker_metrics(
+                max_age=WORKER_STALE_SECONDS).items():
+            snapshot = record.get("snapshot") or {}
+            metrics = snapshot.get("metrics") or {}
+
+            def _family_total(name: str) -> float:
+                family = metrics.get(name) or {}
+                return sum(float(s.get("value", 0.0))
+                           for s in family.get("samples", []))
+
+            workers[worker_id] = {
+                "busy": bool(snapshot.get("busy")),
+                "current_job": snapshot.get("current_job"),
+                "pid": snapshot.get("pid"),
+                "started_at": snapshot.get("started_at"),
+                "num_executed": snapshot.get("num_executed", 0),
+                "num_cache_hits": snapshot.get("num_cache_hits", 0),
+                "steps_total": _family_total("repro_integrator_steps_total"),
+                "updated_at": record.get("updated_at"),
+                "heartbeat_age_seconds": now - float(record.get("updated_at", now)),
+            }
+        return workers
 
     def stats(self) -> Dict[str, object]:
         # the canonical history file sits in the cache directory (shared
@@ -296,7 +413,79 @@ class ServiceServer:
                 "pairs": model.num_pairs,
             },
             "campaigns": num_campaigns,
+            "workers": self._worker_view(),
+            "backpressure": {
+                "max_queue_depth": self.max_queue_depth,
+                "rejections": self.broker.counters().get(
+                    "backpressure_rejections", 0),
+            },
         }
+
+    # -- /metrics ----------------------------------------------------------------------
+
+    def metrics_document(self) -> Dict[str, Dict[str, object]]:
+        """The merged snapshot behind ``GET /metrics``.
+
+        Three ingredients: this process's registry (server + broker +
+        coalescer counters), fleet state derived fresh from the broker
+        (queue depth, durable counters, cache size, worker liveness),
+        and every live worker's published registry relabeled with its
+        identity -- which is how broker lease/ack, worker loop, and
+        integrator-reuse metrics show up per worker in one scrape.
+        """
+        now = time.time()
+        parts = [REGISTRY.snapshot()]
+        parts.append(prometheus.make_family(
+            "repro_broker_jobs", "gauge",
+            "Jobs in the broker by status (expired leases count as queued).",
+            [({"status": status}, count)
+             for status, count in self.broker.depth().items()]))
+        parts.append(prometheus.make_family(
+            "repro_service_counter_total", "counter",
+            "Durable fleet-wide broker counters (survive every restart).",
+            [({"name": name}, value)
+             for name, value in self.coalescer.counters().items()]))
+        parts.append(prometheus.make_family(
+            "repro_service_uptime_seconds", "gauge",
+            "Seconds since this front end started.",
+            [({}, now - self.started_at)]))
+        parts.append(prometheus.make_family(
+            "repro_service_cache_entries", "gauge",
+            "Entries in the shared result cache.",
+            [({}, len(self.cache) if self.cache else 0)]))
+        with self._campaign_lock:
+            num_campaigns = len(self._campaigns)
+        parts.append(prometheus.make_family(
+            "repro_service_campaigns", "gauge",
+            "Campaigns tracked by this front end.", [({}, num_campaigns)]))
+
+        workers = self.broker.worker_metrics(max_age=WORKER_STALE_SECONDS)
+        up_samples, busy_samples, age_samples = [], [], []
+        for worker_id, record in workers.items():
+            snapshot = record.get("snapshot") or {}
+            up_samples.append(({"worker": worker_id}, 1))
+            busy_samples.append(({"worker": worker_id},
+                                 1 if snapshot.get("busy") else 0))
+            age_samples.append(({"worker": worker_id},
+                                now - float(record.get("updated_at", now))))
+            metrics = snapshot.get("metrics")
+            if isinstance(metrics, dict):
+                parts.append(prometheus.labeled(metrics, worker=worker_id))
+        parts.append(prometheus.make_family(
+            "repro_fleet_worker_up", "gauge",
+            "1 for each worker with a fresh published snapshot.", up_samples))
+        parts.append(prometheus.make_family(
+            "repro_fleet_worker_busy", "gauge",
+            "1 while the worker is executing a job.", busy_samples))
+        parts.append(prometheus.make_family(
+            "repro_fleet_worker_heartbeat_age_seconds", "gauge",
+            "Seconds since the worker last published its snapshot.",
+            age_samples))
+        return prometheus.merge(*parts)
+
+    def render_metrics(self) -> str:
+        """``GET /metrics``: Prometheus text exposition format."""
+        return prometheus.render_text(self.metrics_document())
 
     def healthz(self) -> Dict[str, object]:
         return {
@@ -321,20 +510,30 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if self.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _send_json(self, status: int, document: Dict[str, object]) -> None:
-        body = json.dumps(document, default=repr).encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         # error paths may not have drained the request body (oversized or
         # unparsable submissions); reusing the connection would let the
         # unread bytes masquerade as the next request line, so close it
         if status >= 400:
             self.close_connection = True
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, document: Dict[str, object],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(document, default=repr).encode("utf-8")
+        self._send_body(status, body, "application/json", headers)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
 
     def _read_body(self) -> Dict[str, object]:
         try:
@@ -359,7 +558,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             handled = self._route(method, path)
         except ApiError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_json(exc.status, {"error": str(exc)}, exc.headers)
             return
         except (BrokenPipeError, ConnectionResetError):
             return  # client went away mid-response; nothing to answer
@@ -377,9 +576,24 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routing -----------------------------------------------------------------------
 
+    @staticmethod
+    def _route_label(method: str, parts: List[str]) -> str:
+        """Coarse route label for the request counter (bounded cardinality)."""
+        if not parts:
+            return "root"
+        if parts[0] in ("scenarios", "campaigns", "jobs", "healthz",
+                        "stats", "metrics"):
+            if parts[0] == "campaigns" and len(parts) == 3:
+                return "campaigns/stream"
+            if parts[0] == "jobs" and len(parts) == 3:
+                return "jobs/result"
+            return parts[0]
+        return "other"
+
     def _route(self, method: str, path: str) -> bool:
         service = self.service
         parts = [p for p in path.split("/") if p]
+        _TM_REQUESTS.labels(self._route_label(method, parts)).inc()
         if method == "POST" and parts == ["scenarios"]:
             status, document = service.submit_scenario(self._read_body())
             self._send_json(status, document)
@@ -406,6 +620,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 raise ApiError(404, f"unknown job {job_id!r}")
             self._send_json(202, document)
             return True
+        if method == "GET" and parts == ["campaigns"]:
+            self._send_json(200, service.campaign_index())
+            return True
         if method == "GET" and len(parts) == 2 and parts[0] == "campaigns":
             self._send_json(200, service.campaign_progress(parts[1]))
             return True
@@ -418,6 +635,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return True
         if method == "GET" and parts == ["stats"]:
             self._send_json(200, service.stats())
+            return True
+        if method == "GET" and parts == ["metrics"]:
+            self._send_text(200, service.render_metrics(),
+                            prometheus.CONTENT_TYPE)
             return True
         return False
 

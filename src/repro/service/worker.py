@@ -43,8 +43,21 @@ from repro.campaign.scenario import Scenario
 from repro.campaign.schedule import history_path_for
 from repro.service.broker import Job, JobBroker
 from repro.service import layout
+from repro.telemetry import REGISTRY
+from repro.telemetry import metrics as telemetry
 
 __all__ = ["QueueWorker", "main"]
+
+_TM_JOBS = telemetry.counter(
+    "repro_worker_jobs_total",
+    "Jobs this worker finished, by how the outcome was produced.",
+    ("outcome",))
+_TM_JOB_SECONDS = telemetry.histogram(
+    "repro_worker_job_seconds",
+    "Wall-clock seconds per executed job (lease to ack, cache hits excluded).")
+_TM_IDLE_POLLS = telemetry.counter(
+    "repro_worker_idle_polls_total",
+    "Lease attempts that found the queue empty.")
 
 
 class QueueWorker:
@@ -58,6 +71,8 @@ class QueueWorker:
         lease_seconds: float = 60.0,
         poll_interval: float = 0.2,
         record_history: bool = True,
+        publish_metrics: bool = True,
+        publish_interval: float = 5.0,
     ):
         self.broker = broker
         self.cache = cache
@@ -68,6 +83,13 @@ class QueueWorker:
         #: jobs this worker actually simulated / answered from cache
         self.num_executed = 0
         self.num_cache_hits = 0
+        #: fleet telemetry: publish this process's metrics registry into
+        #: the broker so the front end can aggregate it (/stats, /metrics)
+        self.publish_metrics = publish_metrics
+        self.publish_interval = float(publish_interval)
+        self.started_at = time.time()
+        self.current_job_id: Optional[str] = None
+        self._last_publish = 0.0
 
     # -- one job -----------------------------------------------------------------------
 
@@ -86,14 +108,23 @@ class QueueWorker:
         if outcome is not None:
             self.num_cache_hits += 1
             self.broker.incr("worker_cache_hits")
-            return self.broker.ack(job.id, self.worker_id, outcome)
+            _TM_JOBS.labels("cache_hit").inc()
+            acked = self.broker.ack(job.id, self.worker_id, outcome)
+            self.publish(force=True)
+            return acked
 
+        self.current_job_id = job.id
+        self.publish(force=True)
         stop_extending = self._keep_lease_alive(job.id)
+        started = time.monotonic()
         try:
             outcome = execute_scenario(job.payload, base_options,
                                        timeout, sample_points)
         finally:
             stop_extending()
+            self.current_job_id = None
+        _TM_JOB_SECONDS.observe(time.monotonic() - started)
+        _TM_JOBS.labels("executed").inc()
         self.num_executed += 1
         self.broker.incr("simulations")
         if self.cache is not None:
@@ -111,7 +142,38 @@ class QueueWorker:
         acked = self.broker.ack(job.id, self.worker_id, outcome)
         if not acked:
             self.broker.incr("late_acks")
+        self.publish(force=True)
         return acked
+
+    # -- fleet telemetry ---------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """This worker's published document: identity, state, metrics."""
+        return {
+            "worker_id": self.worker_id,
+            "pid": os.getpid(),
+            "busy": self.current_job_id is not None,
+            "current_job": self.current_job_id,
+            "started_at": self.started_at,
+            "num_executed": self.num_executed,
+            "num_cache_hits": self.num_cache_hits,
+            # the whole process registry: worker loop metrics AND the
+            # integrator/LU/reuse counters incremented by the simulations
+            # this process ran -- this is how per-worker integrator
+            # telemetry reaches the front end's /metrics
+            "metrics": REGISTRY.snapshot(),
+        }
+
+    def publish(self, force: bool = False) -> None:
+        """Publish the metrics snapshot into the broker (rate-limited)."""
+        if not self.publish_metrics:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_publish < self.publish_interval:
+            return
+        self._last_publish = now
+        self.broker.publish_worker_metrics(
+            self.worker_id, self.metrics_snapshot())
 
     @staticmethod
     def _context_key(base_options, sample_points: int) -> str:
@@ -166,15 +228,20 @@ class QueueWorker:
         """
         handled = 0
         idle_since = time.monotonic()
+        self.publish(force=True)
         while True:
             if self.run_once():
                 handled += 1
                 idle_since = time.monotonic()
                 continue
+            _TM_IDLE_POLLS.inc()
+            self.publish()  # idle heartbeat, rate-limited
             if exit_when_idle and self.broker.pending() == 0:
+                self.publish(force=True)
                 return handled
             if max_idle is not None and \
                     time.monotonic() - idle_since > max_idle:
+                self.publish(force=True)
                 return handled
             time.sleep(self.poll_interval)
 
@@ -204,6 +271,9 @@ def main(argv=None) -> int:
     parser.add_argument("--no-history", action="store_true",
                         help="do not append runtime records to the shared "
                              "cost-model history")
+    parser.add_argument("--no-publish", action="store_true",
+                        help="do not publish telemetry snapshots into the "
+                             "broker (/stats and /metrics lose this worker)")
     args = parser.parse_args(argv)
 
     if args.data is None and args.broker is None:
@@ -218,7 +288,8 @@ def main(argv=None) -> int:
 
     worker = QueueWorker(broker, cache=cache, worker_id=args.worker_id,
                          lease_seconds=args.lease, poll_interval=args.poll,
-                         record_history=not args.no_history)
+                         record_history=not args.no_history,
+                         publish_metrics=not args.no_publish)
     print(f"worker {worker.worker_id} attached to {broker.path}",
           file=sys.stderr)
     try:

@@ -1,0 +1,54 @@
+"""Fleet-wide observability core (stdlib-only, cheap, serializable).
+
+``repro.telemetry.metrics`` is the in-process metrics registry every
+layer increments (integrators, campaign backends, broker, workers,
+coalescer, HTTP server); ``repro.telemetry.prometheus`` renders and
+parses the text exposition format served by ``GET /metrics``.
+
+Instrumentation convention: each module registers its families once at
+import time on the process-wide :data:`REGISTRY` and keeps the child
+handles in module globals, so the hot path pays one lock + one add per
+event and nothing when telemetry is unread.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.telemetry.prometheus import (
+    CONTENT_TYPE,
+    ParsedMetrics,
+    labeled,
+    make_family,
+    merge,
+    parse_text,
+    render_text,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "CONTENT_TYPE",
+    "ParsedMetrics",
+    "labeled",
+    "make_family",
+    "merge",
+    "parse_text",
+    "render_text",
+]

@@ -1,0 +1,331 @@
+"""Process-local metrics core: counters, gauges, histograms, one registry.
+
+Every process in the fleet -- the HTTP front end, each queue worker, a
+campaign coordinator -- owns one :data:`REGISTRY` and increments plain
+in-memory metrics on it.  The design constraints, in order:
+
+1. **Dependency-free.**  The simulator must not grow a hard dependency
+   for observability; this module is pure stdlib and is imported by the
+   integrator hot path.
+2. **Cheap.**  An increment is one lock acquire and one float add.
+   Instrumented call sites hold a *child* handle (the object returned by
+   :meth:`MetricFamily.labels`, or the family itself when unlabeled), so
+   the hot loop never touches the registry or parses label dicts.
+3. **Serializable.**  :meth:`MetricsRegistry.snapshot` emits a plain
+   JSON-able dict.  That is how worker processes ship their metrics to
+   the front end (published into the broker, see
+   :meth:`repro.service.broker.JobBroker.publish_worker_metrics`), and
+   what :mod:`repro.telemetry.prometheus` renders to exposition text.
+
+Metric semantics follow Prometheus conventions: counters only go up,
+gauges go anywhere, histograms record cumulative bucket counts plus a
+sum and a count.  Registration is idempotent -- asking twice for the
+same name returns the same family; asking with a different kind or
+label set raises, because two call sites disagreeing about a metric is
+a bug worth failing loudly on.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "DEFAULT_BUCKETS",
+]
+
+#: Prometheus metric/label name grammar (colons reserved for rules)
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram bucket upper bounds (seconds-flavoured; +Inf implied)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (one labeled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (one labeled child)."""
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        self._bounds = tuple(bounds)
+        #: per-bucket (non-cumulative) counts; last slot is the +Inf bucket
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self._bounds, counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric plus its labeled children.
+
+    With empty ``labelnames`` the family proxies its single anonymous
+    child, so ``registry.counter("x").inc()`` works directly; with
+    labels, call :meth:`labels` once per distinct label combination and
+    keep the child handle.
+    """
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Optional[Sequence[float]] = None):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _NAME_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets or DEFAULT_BUCKETS)
+        return _KINDS[self.kind]()
+
+    def labels(self, *values: object, **kwargs: object):
+        """The child for one label combination (created on first use)."""
+        if kwargs:
+            if values:
+                raise ValueError("pass labels positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(f"missing label {exc} for {self.name}") from exc
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, got {key}")
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # -- unlabeled convenience ---------------------------------------------------------
+
+    def _sole_child(self):
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labeled; call .labels() first")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._sole_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._sole_child().set(value)
+
+    def observe(self, value: float) -> None:
+        self._sole_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._sole_child().value
+
+    # -- serialization -----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able state: the family description plus every child."""
+        with self._lock:
+            children = list(self._children.items())
+        samples: List[Dict[str, object]] = []
+        for key, child in children:
+            labels = dict(zip(self.labelnames, key))
+            if self.kind == "histogram":
+                samples.append({
+                    "labels": labels,
+                    "buckets": [[bound, n] for bound, n
+                                in child.cumulative_buckets()],
+                    "sum": child.sum,
+                    "count": child.count,
+                })
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "samples": samples,
+        }
+
+
+class MetricsRegistry:
+    """All metric families of one process (or one subsystem under test)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, name: str, kind: str, help: str,
+                  labelnames: Sequence[str],
+                  buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.labelnames}, requested "
+                        f"{kind}{tuple(labelnames)}")
+                return family
+            family = MetricFamily(name, kind, help, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        return self._register(name, "histogram", help, labelnames, buckets)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as a JSON-able dict (name -> family state)."""
+        return {family.name: family.snapshot() for family in self.families()}
+
+    def reset(self) -> None:
+        """Drop every family (test isolation only -- live handles held by
+        instrumented modules keep working but detach from this registry)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: the process-wide default registry every instrumented module uses
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "", labelnames: Sequence[str] = (),
+            registry: Optional[MetricsRegistry] = None) -> MetricFamily:
+    """Register (idempotently) a counter on ``registry`` or the default."""
+    return (registry or REGISTRY).counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = (),
+          registry: Optional[MetricsRegistry] = None) -> MetricFamily:
+    """Register (idempotently) a gauge on ``registry`` or the default."""
+    return (registry or REGISTRY).gauge(name, help, labelnames)
+
+
+def histogram(name: str, help: str = "", labelnames: Sequence[str] = (),
+              buckets: Optional[Sequence[float]] = None,
+              registry: Optional[MetricsRegistry] = None) -> MetricFamily:
+    """Register (idempotently) a histogram on ``registry`` or the default."""
+    return (registry or REGISTRY).histogram(name, help, labelnames, buckets)

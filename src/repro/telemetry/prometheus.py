@@ -1,0 +1,257 @@
+"""Prometheus text exposition: render, merge, relabel, and parse.
+
+The interchange unit is the JSON-able *snapshot* dict produced by
+:meth:`repro.telemetry.metrics.MetricsRegistry.snapshot` -- a mapping of
+family name to ``{"kind", "help", "labelnames", "samples"}``.  The
+service front end composes its ``GET /metrics`` body out of several
+snapshots: its own process registry, derived fleet state built with
+:func:`make_family` (queue depth, durable counters), and the snapshots
+each worker published into the broker, relabeled with
+:func:`labeled` so every sample carries a ``worker="host:pid"`` label.
+
+:func:`parse_text` is the inverse used by the watch client and the
+exposition-format tests; it understands exactly what :func:`render_text`
+emits (the Prometheus text format, version 0.0.4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_text",
+    "make_family",
+    "labeled",
+    "merge",
+    "parse_text",
+    "ParsedMetrics",
+]
+
+#: the Content-Type Prometheus scrapers expect for the text format
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+Snapshot = Dict[str, Dict[str, object]]
+
+
+# -- building snapshots by hand --------------------------------------------------------
+
+
+def make_family(name: str, kind: str, help: str,
+                samples: Iterable[Tuple[Mapping[str, object], float]]) -> Snapshot:
+    """A one-family snapshot from ``(labels, value)`` pairs.
+
+    For state derived at scrape time (queue depth per status, cache
+    entries, per-worker heartbeat age) a live metric object is the wrong
+    tool -- stale label children would linger between scrapes.  Build
+    the family fresh from the authoritative source instead.
+    """
+    sample_dicts = [
+        {"labels": {str(k): str(v) for k, v in labels.items()},
+         "value": float(value)}
+        for labels, value in samples
+    ]
+    labelnames = sorted({k for s in sample_dicts for k in s["labels"]})
+    return {name: {"kind": kind, "help": help,
+                   "labelnames": labelnames, "samples": sample_dicts}}
+
+
+def labeled(snapshot: Snapshot, **extra: object) -> Snapshot:
+    """A copy of ``snapshot`` with ``extra`` labels on every sample."""
+    extra_labels = {str(k): str(v) for k, v in extra.items()}
+    out: Snapshot = {}
+    for name, family in snapshot.items():
+        samples = []
+        for sample in family.get("samples", []):
+            merged = dict(sample)
+            merged["labels"] = {**dict(sample.get("labels", {})), **extra_labels}
+            samples.append(merged)
+        out[name] = {
+            "kind": family.get("kind", "gauge"),
+            "help": family.get("help", ""),
+            "labelnames": sorted(set(family.get("labelnames", []))
+                                 | set(extra_labels)),
+            "samples": samples,
+        }
+    return out
+
+
+def merge(*snapshots: Snapshot) -> Snapshot:
+    """Concatenate families by name (first kind/help wins)."""
+    out: Snapshot = {}
+    for snapshot in snapshots:
+        for name, family in snapshot.items():
+            existing = out.get(name)
+            if existing is None:
+                out[name] = {
+                    "kind": family.get("kind", "gauge"),
+                    "help": family.get("help", ""),
+                    "labelnames": list(family.get("labelnames", [])),
+                    "samples": list(family.get("samples", [])),
+                }
+            else:
+                existing["samples"].extend(family.get("samples", []))
+                existing["labelnames"] = sorted(
+                    set(existing["labelnames"])
+                    | set(family.get("labelnames", [])))
+    return out
+
+
+# -- rendering -------------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, object]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                    for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def render_text(snapshot: Snapshot) -> str:
+    """Render a snapshot as Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("kind", "gauge")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(str(help_text))}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family.get("samples", []):
+            labels = dict(sample.get("labels", {}))
+            if kind == "histogram":
+                for bound, count in sample.get("buckets", []):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_bound(float(bound))
+                    lines.append(f"{name}_bucket{_format_labels(bucket_labels)}"
+                                 f" {_format_value(count)}")
+                lines.append(f"{name}_sum{_format_labels(labels)}"
+                             f" {_format_value(sample.get('sum', 0.0))}")
+                lines.append(f"{name}_count{_format_labels(labels)}"
+                             f" {_format_value(sample.get('count', 0))}")
+            else:
+                lines.append(f"{name}{_format_labels(labels)}"
+                             f" {_format_value(sample.get('value', 0.0))}")
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing ---------------------------------------------------------------------------
+
+
+class ParsedMetrics:
+    """Samples and types recovered from exposition text."""
+
+    def __init__(self):
+        #: metric name (as exposed, e.g. ``foo_bucket``) ->
+        #: list of (labels dict, value)
+        self.samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+        #: family name -> declared type
+        self.types: Dict[str, str] = {}
+        #: family name -> help text
+        self.help: Dict[str, str] = {}
+
+    def value(self, name: str, /, **labels: str) -> Optional[float]:
+        """The sample value exactly matching ``labels`` (None if absent)."""
+        want = {k: str(v) for k, v in labels.items()}
+        for sample_labels, value in self.samples.get(name, []):
+            if sample_labels == want:
+                return value
+        return None
+
+    def total(self, name: str, /, **labels: str) -> float:
+        """Sum of all samples of ``name`` whose labels include ``labels``."""
+        want = {k: str(v) for k, v in labels.items()}
+        return sum(v for sample_labels, v in self.samples.get(name, [])
+                   if all(sample_labels.get(k) == lv for k, lv in want.items()))
+
+    def names(self) -> List[str]:
+        return sorted(self.samples)
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    return float(token)
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        name = body[i:eq].strip().lstrip(",").strip()
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {body[eq:]!r}")
+        j = eq + 2
+        value_chars: List[str] = []
+        while True:
+            ch = body[j]
+            if ch == "\\":
+                nxt = body[j + 1]
+                value_chars.append({"n": "\n", "\\": "\\", '"': '"'}
+                                   .get(nxt, "\\" + nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        labels[name] = "".join(value_chars)
+        i = j + 1
+    return labels
+
+
+def parse_text(text: str) -> ParsedMetrics:
+    """Parse Prometheus text exposition format (raises on malformed lines)."""
+    parsed = ParsedMetrics()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                parsed.types[parts[2]] = parts[3] if len(parts) > 3 else ""
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                parsed.help[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_body, value_part = rest.rsplit("}", 1)
+            labels = _parse_labels(label_body)
+            value = _parse_value(value_part.strip())
+        else:
+            name, value_part = line.rsplit(None, 1)
+            labels = {}
+            value = _parse_value(value_part)
+        parsed.samples.setdefault(name.strip(), []).append((labels, value))
+    return parsed

@@ -1,0 +1,86 @@
+"""CLI for the live fleet dashboard: ``python -m repro.watch``.
+
+Modes
+-----
+* ``--once``           one poll, print the plain-text dashboard, exit
+* ``--once --json``    one poll, print the machine-readable snapshot
+* (default, live)      Textual TUI when textual is importable and stdout
+                       is a terminal; otherwise a plain redraw loop
+* ``--plain``          force the plain loop even if Textual is available
+
+``--once`` / ``--json`` need no TTY and no third-party packages, which
+is what makes the dashboard CI-testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.watch.app import run_app, textual_available
+from repro.watch.client import WatchClient
+from repro.watch.render import render_snapshot
+
+#: ANSI "clear screen, cursor home" used by the plain live loop
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.watch",
+        description="Live operations dashboard for a repro.service fleet.")
+    parser.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="service front-end base URL "
+                             "(default: %(default)s)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="poll interval in seconds (default: %(default)s)")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request HTTP timeout (default: %(default)s)")
+    parser.add_argument("--once", action="store_true",
+                        help="poll once, print a snapshot, exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="with --once: print the snapshot as JSON")
+    parser.add_argument("--plain", action="store_true",
+                        help="force the plain-text loop (skip Textual)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.as_json and not args.once:
+        build_parser().error("--json requires --once")
+    client = WatchClient(args.url, timeout=args.timeout)
+
+    if args.once:
+        snap = client.poll()
+        if args.as_json:
+            print(json.dumps(snap.to_dict(), indent=2, sort_keys=True,
+                             default=repr))
+        else:
+            sys.stdout.write(render_snapshot(snap))
+        return 0 if snap.healthy else 1
+
+    use_tui = (not args.plain and textual_available()
+               and sys.stdout.isatty())
+    if use_tui:
+        run_app(client, interval=args.interval)
+        return 0
+
+    # plain live loop: redraw the same renderer on every poll
+    try:
+        while True:
+            snap = client.poll()
+            if sys.stdout.isatty():
+                sys.stdout.write(_CLEAR)
+            sys.stdout.write(render_snapshot(snap))
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Optional Textual TUI for the watch dashboard.
+
+`Textual <https://textual.textualize.io>`_ is strictly optional: this
+module imports it lazily inside :func:`textual_available` /
+:func:`run_app`, so ``import repro.watch.app`` always succeeds and every
+dashboard feature keeps working through the plain renderer when the
+package is absent.  The TUI itself is deliberately thin -- it reuses the
+exact plain-text rendering from :mod:`repro.watch.render` inside a
+scrollable Static widget and simply re-polls on a timer, so the two
+frontends can never disagree about what the fleet looks like.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.watch.client import WatchClient
+
+__all__ = ["textual_available", "run_app"]
+
+
+def textual_available() -> bool:
+    """Whether the optional Textual dependency can be imported."""
+    try:
+        import textual.app  # noqa: F401
+    except Exception:  # pragma: no cover - import machinery varies
+        return False
+    return True
+
+
+def run_app(client: "WatchClient", interval: float = 2.0) -> None:
+    """Run the Textual dashboard until the user quits (``q`` / ctrl-c).
+
+    Raises ``ImportError`` if Textual is missing; callers are expected
+    to check :func:`textual_available` first and fall back to the plain
+    loop in :mod:`repro.watch.__main__`.
+    """
+    from textual.app import App, ComposeResult
+    from textual.containers import VerticalScroll
+    from textual.widgets import Footer, Header, Static
+
+    from repro.watch.render import render_snapshot
+
+    class WatchApp(App):
+        TITLE = "repro.watch"
+        SUB_TITLE = client.url
+        BINDINGS = [("q", "quit", "Quit"), ("r", "refresh", "Refresh")]
+        CSS = """
+        #fleet { padding: 0 1; }
+        """
+
+        def compose(self) -> ComposeResult:
+            yield Header(show_clock=True)
+            with VerticalScroll():
+                yield Static("connecting...", id="fleet", markup=False)
+            yield Footer()
+
+        def on_mount(self) -> None:
+            self.refresh_snapshot()
+            self.set_interval(interval, self.refresh_snapshot)
+
+        def action_refresh(self) -> None:
+            self.refresh_snapshot()
+
+        def refresh_snapshot(self) -> None:
+            snap = client.poll()
+            self.query_one("#fleet", Static).update(render_snapshot(snap))
+
+    WatchApp().run()

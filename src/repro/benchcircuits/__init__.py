@@ -9,6 +9,11 @@ pure-Python simulator handles.  See DESIGN.md ("Substitutions") for the
 mapping and the argument why the relative behaviour is preserved.
 """
 
+from repro.benchcircuits.large_scale import (
+    large_rc_mesh,
+    large_rlc_mesh,
+    pdn_multilayer,
+)
 from repro.benchcircuits.rc_networks import rc_ladder, rc_mesh
 from repro.benchcircuits.rlc_networks import rlc_line, rlc_line_energy
 from repro.benchcircuits.inverter_chain import inverter_chain, stiff_inverter_chain
@@ -32,6 +37,9 @@ __all__ = [
     "build_circuit",
     "rc_ladder",
     "rc_mesh",
+    "large_rc_mesh",
+    "large_rlc_mesh",
+    "pdn_multilayer",
     "rlc_line",
     "rlc_line_energy",
     "inverter_chain",

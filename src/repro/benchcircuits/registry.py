@@ -89,13 +89,19 @@ def _register_builtins() -> None:
     from repro.benchcircuits.coupled_interconnect import coupled_lines, driven_coupled_bus
     from repro.benchcircuits.freecpu import freecpu_like_circuit
     from repro.benchcircuits.inverter_chain import inverter_chain, stiff_inverter_chain
+    from repro.benchcircuits.large_scale import (
+        large_rc_mesh,
+        large_rlc_mesh,
+        pdn_multilayer,
+    )
     from repro.benchcircuits.power_grid import power_grid
     from repro.benchcircuits.rc_networks import rc_ladder, rc_mesh
     from repro.benchcircuits.rlc_networks import rlc_line
     from repro.benchcircuits.testcases import TESTCASE_NAMES, make_ckt
 
     for fn in (rc_ladder, rc_mesh, rlc_line, inverter_chain, stiff_inverter_chain,
-               power_grid, coupled_lines, driven_coupled_bus, freecpu_like_circuit):
+               power_grid, coupled_lines, driven_coupled_bus, freecpu_like_circuit,
+               large_rc_mesh, pdn_multilayer, large_rlc_mesh):
         register_circuit_factory(fn.__name__, fn)
 
     def _make_testcase_factory(case_name: str) -> Callable[..., Circuit]:

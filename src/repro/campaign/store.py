@@ -34,10 +34,13 @@ __all__ = [
 ]
 
 #: summary keys that must be bit-identical between serial and parallel
-#: executions of the same scenario (everything except wall-clock timing)
+#: executions of the same scenario (everything except wall-clock timing);
+#: "observables" covers the streaming per-node summaries, whose update
+#: rule is shared with the stored-state derivation (bit-deterministic)
 DETERMINISTIC_SUMMARY_KEYS = (
     "method", "#step", "#rejected", "#NRa", "#ma", "#LU",
     "peak_factor_nnz", "completed", "failure", "t_end_reached", "num_points",
+    "observables",
 )
 
 
@@ -80,6 +83,16 @@ class ScenarioOutcome:
     def reused(self) -> bool:
         """Whether the outcome was adopted (cache/journal) instead of run."""
         return self.reused_from is not None
+
+    @property
+    def observables(self) -> Dict[str, Dict[str, float]]:
+        """Streaming per-observed-node summaries (min/max/final/L2/energy).
+
+        Populated for every run that observes nodes, including
+        ``store_states=False`` scenarios whose full waveforms were never
+        materialized -- the memory-bounded path of 100k-node campaigns.
+        """
+        return dict(self.summary.get("observables") or {})
 
     def deterministic_summary(self) -> Dict[str, object]:
         """The summary restricted to scheduling-independent counters."""

@@ -181,6 +181,11 @@ class SimOptions:
     #: one PWL source segment -- the slope vector is constant there (the
     #: Eq. 14 remark); requires the linearization cache on a linear circuit
     reuse_segment_slope: bool = True
+    #: reuse the fill-reducing column ordering across factorizations with
+    #: an identical sparsity pattern (symbolic analysis runs once per
+    #: pattern, numeric refactorizations are bit-identical to fresh
+    #: factorizations); independent of ``cache_linearization``
+    reuse_symbolic: bool = True
 
     # -- output ------------------------------------------------------------------------------
     #: store the full state trajectory (False keeps only observed nodes)

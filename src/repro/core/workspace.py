@@ -27,6 +27,15 @@ Honest accounting is part of the contract: reuses land in
 keeps counting only real numerical work, so the Table-I ``#LU`` column is
 unchanged in meaning and the cache's effect is visible in the statistics
 rather than hidden by them.
+
+Below the value-keyed LU cache sits a *pattern*-keyed
+:class:`~repro.linalg.sparse_lu.SymbolicCache`
+(``SimOptions.reuse_symbolic``): when a factorization cannot be avoided
+but the sparsity pattern was seen before, the fill-reducing ordering is
+reused and only the numeric phase runs.  Such refactorizations stay in
+``num_factorizations`` (they are real work) and are additionally tallied
+in ``num_symbolic_reuses``; fresh analyses count in ``num_orderings``,
+with ``num_factorizations == num_orderings + num_symbolic_reuses``.
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ import scipy.sparse as sp
 
 from repro.circuit.mna import EvalResult, MNASystem
 from repro.core.options import SimOptions
-from repro.linalg.sparse_lu import LUStats, SparseLU, factorize
+from repro.linalg.sparse_lu import LUStats, SparseLU, SymbolicCache, factorize
 
 __all__ = ["LinearizationCache"]
 
@@ -87,6 +96,11 @@ class LinearizationCache:
         self.enabled = bool(options.cache_linearization)
         self.bypass_tol = float(options.bypass_tol)
         self.gshunt = float(options.gshunt)
+        #: pattern-keyed symbolic-factorization reuse; orthogonal to the
+        #: value-keyed LU cache above it (a fresh factorization with a
+        #: reused ordering is still a real, counted factorization)
+        self.symbolic: Optional[SymbolicCache] = (
+            SymbolicCache() if options.reuse_symbolic else None)
         self._identity = sp.identity(mna.n, format="csc")
         self._shunted_G: Optional[sp.csc_matrix] = None
         self._matrices: "OrderedDict[CacheKey, sp.spmatrix]" = OrderedDict()
@@ -104,10 +118,12 @@ class LinearizationCache:
         return self.reuse_exact or (self.enabled and self.bypass_tol > 0.0)
 
     def invalidate(self) -> None:
-        """Drop every cached matrix and factorization."""
+        """Drop every cached matrix, factorization and symbolic ordering."""
         self._shunted_G = None
         self._matrices.clear()
         self._lus.clear()
+        if self.symbolic is not None:
+            self.symbolic.clear()
 
     def _put(self, store: "OrderedDict", key: CacheKey, value) -> None:
         """Insert as most-recent and evict least-recent past MAX_ENTRIES."""
@@ -196,7 +212,8 @@ class LinearizationCache:
         """
         if not self.enabled:
             return factorize(matrix, stats=stats,
-                             max_factor_nnz=max_factor_nnz, label=label)
+                             max_factor_nnz=max_factor_nnz, label=label,
+                             symbolic=self.symbolic)
 
         entry = self._lus.get(key)
         if entry is not None:
@@ -222,7 +239,8 @@ class LinearizationCache:
                     return lu
 
         lu = factorize(matrix, stats=stats,
-                       max_factor_nnz=max_factor_nnz, label=label)
+                       max_factor_nnz=max_factor_nnz, label=label,
+                       symbolic=self.symbolic)
         if self._stores_entries:
             self._put(self._lus, key, (matrix, lu))
         return lu

@@ -56,6 +56,14 @@ _TM_LU_BYPASSED = telemetry.counter(
     "repro_integrator_lu_bypassed_total",
     "SPICE-style bypass reuses of a slightly stale factorization.",
     ("method",))
+_TM_LU_ORDERINGS = telemetry.counter(
+    "repro_integrator_lu_orderings_total",
+    "Factorizations that computed a fresh fill-reducing ordering.",
+    ("method",))
+_TM_LU_SYMBOLIC = telemetry.counter(
+    "repro_integrator_lu_symbolic_reuses_total",
+    "Numeric refactorizations that reused a pattern-matched ordering.",
+    ("method",))
 _TM_BASIS_REUSES = telemetry.counter(
     "repro_integrator_basis_reuses_total",
     "Krylov MEVP evaluations served from a reused segment-slope basis.",
@@ -220,12 +228,14 @@ class Integrator(ABC):
         return (stats.num_steps, stats.num_rejections,
                 stats.total_newton_iterations, stats.lu.num_factorizations,
                 stats.lu.num_reused, stats.lu.num_bypassed,
+                stats.lu.num_orderings, stats.lu.num_symbolic_reuses,
                 stats.mevp.num_basis_reuses, stats.runtime_seconds)
 
     def _publish_telemetry(self, before) -> None:
         after = self._stats_snapshot()
         deltas = [max(0, b - a) for a, b in zip(before, after)]
-        steps, rejections, newton, lu, reused, bypassed, basis, seconds = deltas
+        (steps, rejections, newton, lu, reused, bypassed,
+         orderings, symbolic, basis, seconds) = deltas
         method = self.name
         _TM_RUNS.labels(method, "yes" if self.stats.completed else "no").inc()
         if steps:
@@ -240,6 +250,10 @@ class Integrator(ABC):
             _TM_LU_REUSED.labels(method).inc(reused)
         if bypassed:
             _TM_LU_BYPASSED.labels(method).inc(bypassed)
+        if orderings:
+            _TM_LU_ORDERINGS.labels(method).inc(orderings)
+        if symbolic:
+            _TM_LU_SYMBOLIC.labels(method).inc(symbolic)
         if basis:
             _TM_BASIS_REUSES.labels(method).inc(basis)
         _TM_RUN_SECONDS.labels(method).observe(seconds)

@@ -17,15 +17,23 @@ factorization in this code base goes through :func:`factorize`, which
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-__all__ = ["LUStats", "SparseLU", "FactorizationBudgetExceeded", "factorize"]
+__all__ = [
+    "LUStats",
+    "SparseLU",
+    "SymbolicCache",
+    "FactorizationBudgetExceeded",
+    "factorize",
+]
 
 
 class FactorizationBudgetExceeded(RuntimeError):
@@ -68,6 +76,10 @@ class LUStats:
     num_reused: int = 0
     #: bypass-mode reuses of a slightly stale factorization
     num_bypassed: int = 0
+    #: factorizations that computed a fresh fill-reducing ordering
+    num_orderings: int = 0
+    #: numeric refactorizations that reused a pattern-matched ordering
+    num_symbolic_reuses: int = 0
 
     @property
     def peak_factor_nnz(self) -> int:
@@ -91,6 +103,8 @@ class LUStats:
         self.factor_nnz.extend(other.factor_nnz)
         self.num_reused += other.num_reused
         self.num_bypassed += other.num_bypassed
+        self.num_orderings += other.num_orderings
+        self.num_symbolic_reuses += other.num_symbolic_reuses
 
     def as_dict(self) -> dict:
         return {
@@ -102,23 +116,127 @@ class LUStats:
             "total_factor_nnz": self.total_factor_nnz,
             "num_reused": self.num_reused,
             "num_bypassed": self.num_bypassed,
+            "num_orderings": self.num_orderings,
+            "num_symbolic_reuses": self.num_symbolic_reuses,
         }
 
 
-class SparseLU:
-    """A factored sparse matrix with instrumented solves."""
+#: a symbolic-cache key: (shape, nnz, digest of the index structure)
+PatternKey = Tuple[Tuple[int, int], int, str]
 
-    def __init__(self, lu: spla.SuperLU, stats: Optional[LUStats], label: str = ""):
+
+class SymbolicCache:
+    """Pattern-keyed reuse of fill-reducing column orderings.
+
+    SuperLU's COLAMD ordering depends only on the sparsity *pattern* of the
+    matrix, yet :func:`scipy.sparse.linalg.splu` recomputes it from scratch
+    on every call.  For the implicit methods this is pure waste: every
+    ``C/h + G`` Jacobian of a transient shares one pattern, and a step-size
+    change re-analyzes a structure that has not moved.  This cache remembers
+    the column permutation of the first factorization per pattern; later
+    same-pattern matrices are pre-permuted with it and factorized under
+    ``permc_spec="NATURAL"``, which skips the ordering phase while producing
+    **bit-identical** factors (COLAMD is deterministic in the pattern, so
+    pre-applying its permutation and ordering "naturally" is the same
+    computation SuperLU would have done).
+
+    Reuses are tallied in ``LUStats.num_symbolic_reuses`` and fresh analyses
+    in ``num_orderings``; the accounting invariant
+    ``num_factorizations == num_orderings + num_symbolic_reuses`` is checked
+    by the verify matrix.
+    """
+
+    #: distinct sparsity patterns remembered (one per matrix family is typical)
+    MAX_ENTRIES = 8
+
+    def __init__(self, max_entries: int = MAX_ENTRIES):
+        self.max_entries = int(max_entries)
+        #: pattern key -> inverse column permutation (``inv[perm_c] = 0..n-1``)
+        self._orderings: "OrderedDict[PatternKey, np.ndarray]" = OrderedDict()
+
+    @staticmethod
+    def pattern_key(matrix: sp.csc_matrix) -> PatternKey:
+        """Hash the CSC index structure (values excluded) into a cache key."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(matrix.indptr.tobytes())
+        digest.update(matrix.indices.tobytes())
+        return (matrix.shape, int(matrix.nnz), digest.hexdigest())
+
+    def lookup(self, key: PatternKey) -> Optional[np.ndarray]:
+        """Return the stored inverse column order for ``key``, if any."""
+        order = self._orderings.get(key)
+        if order is not None:
+            self._orderings.move_to_end(key)
+        return order
+
+    def store(self, key: PatternKey, perm_c: np.ndarray) -> None:
+        """Remember the ordering a fresh factorization just computed."""
+        inverse = np.empty_like(perm_c)
+        inverse[perm_c] = np.arange(len(perm_c))
+        self._orderings[key] = inverse
+        self._orderings.move_to_end(key)
+        while len(self._orderings) > self.max_entries:
+            self._orderings.popitem(last=False)
+
+    def clear(self) -> None:
+        self._orderings.clear()
+
+    def __len__(self) -> int:
+        return len(self._orderings)
+
+
+class SparseLU:
+    """A factored sparse matrix with instrumented solves.
+
+    When the factorization reused a cached symbolic ordering the factors
+    are those of the *column-permuted* matrix; ``column_order`` carries the
+    applied permutation and solves transparently un-permute, so callers see
+    exactly the solution of the original system.
+    """
+
+    def __init__(self, lu: spla.SuperLU, stats: Optional[LUStats], label: str = "",
+                 column_order: Optional[np.ndarray] = None):
         self._lu = lu
         self._stats = stats
         self.label = label
-        self.nnz_L = int(lu.L.nnz)
-        self.nnz_U = int(lu.U.nnz)
+        #: SuperLU's own count of stored factor entries (supernodal storage,
+        #: a few percent above the mathematical nnz(L)+nnz(U)).  Reading it
+        #: is free; materializing ``lu.L``/``lu.U`` for the exact split
+        #: costs O(fill) memory per factorization, which at 100k nodes is
+        #: a gigabyte-scale transient -- so the split is lazy below.
+        self._nnz_factors = int(lu.nnz)
+        self._nnz_L: Optional[int] = None
+        self._nnz_U: Optional[int] = None
+        #: inverse column permutation applied before factorization (symbolic
+        #: reuse), or None for a plain factorization
+        self.column_order = column_order
+        #: True when this factorization skipped the ordering phase
+        self.reused_symbolic = column_order is not None
 
     @property
     def nnz_factors(self) -> int:
-        """Total non-zeros in the L and U factors (the Fig. 1 quantity)."""
-        return self.nnz_L + self.nnz_U
+        """Stored non-zeros of the L and U factors (the Fig. 1 quantity).
+
+        This is SuperLU's storage count, which includes supernodal padding;
+        it is what the factorization actually allocates, and it is identical
+        between a fresh ordering and a symbolic-reuse refactorization of the
+        same pattern.
+        """
+        return self._nnz_factors
+
+    @property
+    def nnz_L(self) -> int:
+        """Exact non-zeros of L; materializes the factor on first access."""
+        if self._nnz_L is None:
+            self._nnz_L = int(self._lu.L.nnz)
+        return self._nnz_L
+
+    @property
+    def nnz_U(self) -> int:
+        """Exact non-zeros of U; materializes the factor on first access."""
+        if self._nnz_U is None:
+            self._nnz_U = int(self._lu.U.nnz)
+        return self._nnz_U
 
     @property
     def shape(self) -> tuple:
@@ -133,10 +251,18 @@ class SparseLU:
         """
         self._stats = stats
 
+    def _unpermute(self, y: np.ndarray) -> np.ndarray:
+        """Map the permuted-system solution back to original column order."""
+        if self.column_order is None:
+            return y
+        x = np.empty_like(y)
+        x[self.column_order] = y
+        return x
+
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``A x = b`` using the stored factors."""
         start = time.perf_counter()
-        x = self._lu.solve(np.asarray(b, dtype=float))
+        x = self._unpermute(self._lu.solve(np.asarray(b, dtype=float)))
         if self._stats is not None:
             self._stats.num_solves += 1
             self._stats.solve_time += time.perf_counter() - start
@@ -145,7 +271,7 @@ class SparseLU:
     def solve_many(self, B: np.ndarray) -> np.ndarray:
         """Solve for several right-hand sides stacked as columns."""
         start = time.perf_counter()
-        x = self._lu.solve(np.asarray(B, dtype=float))
+        x = self._unpermute(self._lu.solve(np.asarray(B, dtype=float)))
         if self._stats is not None:
             self._stats.num_solves += B.shape[1] if B.ndim == 2 else 1
             self._stats.solve_time += time.perf_counter() - start
@@ -160,6 +286,7 @@ def factorize(
     stats: Optional[LUStats] = None,
     max_factor_nnz: Optional[int] = None,
     label: str = "",
+    symbolic: Optional[SymbolicCache] = None,
 ) -> SparseLU:
     """LU-factorize a sparse matrix with instrumentation.
 
@@ -176,25 +303,46 @@ def factorize(
     label:
         Human-readable tag (e.g. ``"G"`` or ``"C/h+G"``) used in error
         messages and reports.
+    symbolic:
+        Optional :class:`SymbolicCache`.  When the matrix's sparsity
+        pattern is already known to the cache, the fill-reducing ordering
+        is reused and only the numeric phase runs (bit-identical factors
+        and solutions); otherwise the ordering computed here is stored for
+        future same-pattern matrices.  Every call still counts as a real
+        factorization in ``stats.num_factorizations``.
     """
     matrix = matrix.tocsc()
     if matrix.shape[0] != matrix.shape[1]:
         raise ValueError(f"cannot LU-factorize non-square matrix of shape {matrix.shape}")
 
     start = time.perf_counter()
+    column_order = None
+    pattern = None
+    if symbolic is not None:
+        pattern = SymbolicCache.pattern_key(matrix)
+        column_order = symbolic.lookup(pattern)
     try:
-        lu = spla.splu(matrix)
+        if column_order is not None:
+            lu = spla.splu(matrix[:, column_order].tocsc(), permc_spec="NATURAL")
+        else:
+            lu = spla.splu(matrix)
     except RuntimeError as exc:  # singular matrix
         raise np.linalg.LinAlgError(
             f"sparse LU factorization failed for {label or 'matrix'}: {exc}"
         ) from exc
     elapsed = time.perf_counter() - start
 
-    wrapped = SparseLU(lu, stats, label=label)
+    if column_order is None and symbolic is not None:
+        symbolic.store(pattern, lu.perm_c)
+    wrapped = SparseLU(lu, stats, label=label, column_order=column_order)
     if stats is not None:
         stats.num_factorizations += 1
         stats.factor_time += elapsed
         stats.factor_nnz.append(wrapped.nnz_factors)
+        if column_order is not None:
+            stats.num_symbolic_reuses += 1
+        else:
+            stats.num_orderings += 1
     if max_factor_nnz is not None and wrapped.nnz_factors > max_factor_nnz:
         raise FactorizationBudgetExceeded(wrapped.nnz_factors, max_factor_nnz, label=label)
     return wrapped

@@ -190,7 +190,8 @@ class ServiceServer:
         self.coalescer = Coalescer(broker, cache)
         self.poll_interval = float(poll_interval)
         #: queue-depth backpressure: submissions are 429-rejected while
-        #: the ready (queued) depth is at or above this bound
+        #: the ready (queued) depth exceeds this bound -- a queue exactly
+        #: at the limit still admits (the limit is a capacity, not a fence)
         self.max_queue_depth = max_queue_depth
         self.started_at = time.time()
         self._campaigns: Dict[str, _Campaign] = {}
@@ -247,7 +248,7 @@ class ServiceServer:
         if self.max_queue_depth is None:
             return
         ready = self.broker.depth()["queued"]
-        if ready < self.max_queue_depth:
+        if ready <= self.max_queue_depth:
             return
         live_workers = max(1, len(self.broker.worker_metrics(
             max_age=WORKER_STALE_SECONDS)))
@@ -256,7 +257,7 @@ class ServiceServer:
         _TM_BACKPRESSURE.inc()
         raise ApiError(
             429,
-            f"queue depth {ready} is at or above the configured limit "
+            f"queue depth {ready} exceeds the configured limit "
             f"{self.max_queue_depth}; retry after {retry_after}s",
             headers={"Retry-After": str(retry_after)})
 

@@ -17,7 +17,11 @@ guard:
   run must produce a bit-identical trajectory while
   ``#LU(off) == #LU(on) + #LUhit(on)``: every skipped factorization is
   *counted*, never silently dropped (the honesty contract of
-  :class:`repro.core.workspace.LinearizationCache`).
+  :class:`repro.core.workspace.LinearizationCache`).  Symbolic reuse has
+  its own identity -- every real factorization either computed a fresh
+  fill-reducing ordering or reused a pattern-matched one, so
+  ``#LU == num_orderings + num_symbolic_reuses`` must hold on both runs
+  (:func:`check_symbolic_accounting`).
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ __all__ = [
     "check_slope_consistency",
     "check_energy_decay",
     "check_lu_accounting",
+    "check_symbolic_accounting",
 ]
 
 
@@ -199,5 +204,28 @@ def check_lu_accounting(
             "lu-o1", subject,
             f"cached run performed {on.lu.num_factorizations} LU "
             f"factorizations (ceiling {max_lu_cached})",
+        ))
+    for tag, result in (("on", cached_result), ("off", uncached_result)):
+        violations.extend(check_symbolic_accounting(
+            result, subject=f"{subject}/cache-{tag}" if subject else f"cache-{tag}"))
+    return violations
+
+
+def check_symbolic_accounting(result, subject: str = "") -> List[InvariantViolation]:
+    """``#LU == num_orderings + num_symbolic_reuses`` for one run.
+
+    Symbolic reuse replaces the ordering phase, never a factorization:
+    every entry in ``num_factorizations`` must be classified as exactly
+    one of "paid for a fresh fill-reducing ordering" or "reused a
+    pattern-matched ordering".  A mismatch means a factorization path
+    bypassed the classification (dishonest accounting).
+    """
+    lu = result.stats.lu
+    violations: List[InvariantViolation] = []
+    if lu.num_factorizations != lu.num_orderings + lu.num_symbolic_reuses:
+        violations.append(InvariantViolation(
+            "symbolic-accounting", subject,
+            f"#LU={lu.num_factorizations} != orderings={lu.num_orderings} "
+            f"+ symbolic_reuses={lu.num_symbolic_reuses}",
         ))
     return violations

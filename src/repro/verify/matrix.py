@@ -46,6 +46,7 @@ from repro.verify.invariants import (
     check_energy_decay,
     check_lu_accounting,
     check_slope_consistency,
+    check_symbolic_accounting,
 )
 from repro.verify.oracles import DEFAULT_METHOD_BANDS, Oracle, all_oracles
 
@@ -459,6 +460,78 @@ def _lu_accounting_invariants(
     return rows
 
 
+def _symbolic_reuse_invariants(
+        smoke: bool,
+        cases: Sequence[Tuple[str, str, str]] = (
+            ("rc_ladder", "ramp", "benr"),
+            ("rlc_line", "pulse", "trap"),
+        )) -> List[CheckRow]:
+    """Symbolic-ordering reuse is exact work-preserving refactorization.
+
+    Runs each case with the linearization cache *off* (so every step
+    really factorizes) and ``reuse_symbolic`` on vs off.  The on-run must
+    (a) reuse the pattern-matched ordering at least once, (b) perform
+    exactly as many real factorizations as the off-run, (c) produce a
+    bit-identical trajectory (tolerance 0 -- pre-permuting with COLAMD's
+    own ordering is the same computation SuperLU performs), and (d)
+    satisfy ``#LU == orderings + symbolic_reuses`` on both runs.
+    """
+    from repro.verify.circuits import driven_family
+
+    t_stop = _horizon(smoke)
+    size = "smoke" if smoke else "full"
+    rows: List[CheckRow] = []
+    for family, source, method in cases:
+        config = MATRIX_FAMILIES[family]
+        params = dict(config[size])
+        mna = driven_family(family=family, source=source,
+                            t_stop=t_stop, **params).build()
+        results = {}
+        for symbolic in (True, False):
+            options = SimOptions(t_stop=t_stop, h_init=config["h_init"],
+                                 h_max=config["h_max"], store_states=True,
+                                 cache_linearization=False,
+                                 reuse_segment_slope=False,
+                                 reuse_symbolic=symbolic)
+            results[symbolic] = TransientSimulator(
+                mna, method=method, options=options).run()
+        subject = f"{family}/{source}/{method}"
+        on, off = results[True].stats.lu, results[False].stats.lu
+        violations: List[InvariantViolation] = []
+        if on.num_symbolic_reuses <= 0:
+            violations.append(InvariantViolation(
+                "symbolic-reuse", subject,
+                f"expected num_symbolic_reuses > 0, got "
+                f"{on.num_symbolic_reuses} over {on.num_factorizations} LUs",
+            ))
+        if on.num_factorizations != off.num_factorizations:
+            violations.append(InvariantViolation(
+                "symbolic-reuse", subject,
+                f"#LU changed with symbolic reuse: {on.num_factorizations} "
+                f"vs {off.num_factorizations}",
+            ))
+        try:
+            diff = float(np.max(np.abs(
+                results[True].state_array - results[False].state_array)))
+        except (ValueError, RuntimeError):
+            diff = float("inf")
+        if diff != 0.0:
+            violations.append(InvariantViolation(
+                "symbolic-exactness", subject,
+                f"trajectory difference {diff:.3e}; refactorization with a "
+                f"reused ordering must be bit-identical",
+            ))
+        for tag, result in (("on", results[True]), ("off", results[False])):
+            violations.extend(check_symbolic_accounting(
+                result, subject=f"{subject}/symbolic-{tag}"))
+        rows.extend(_invariant_rows(
+            violations, subject=f"symbolic-reuse:{family}/{source}",
+            method=method,
+            total_label="#LU == orderings + symbolic reuses, bit-identical",
+        ))
+    return rows
+
+
 def _golden_checks(campaign: CampaignResult, store: GoldenStore,
                    regenerate: bool, allow_widen: bool,
                    tolerance: float) -> List[CheckRow]:
@@ -549,6 +622,7 @@ def run_matrix(
     report.checks.extend(_slope_invariants(smoke))
     report.checks.extend(_energy_invariants(smoke))
     report.checks.extend(_lu_accounting_invariants(smoke))
+    report.checks.extend(_symbolic_reuse_invariants(smoke))
     if golden_root is not None:
         store = GoldenStore(golden_root)
         report.checks.extend(_golden_checks(

@@ -26,9 +26,11 @@ import numpy as np
 
 __all__ = [
     "DEFAULT_HISTORY_PATH",
+    "FIG1_HISTORY_PATH",
     "PerfRegression",
     "extract_rates",
     "load_history",
+    "record_entry",
     "record_run",
     "tracked_medians",
     "check_perf_regression",
@@ -41,6 +43,11 @@ __all__ = [
 #: appends to the *same* per-checkout history wherever it is invoked
 DEFAULT_HISTORY_PATH = (Path(__file__).resolve().parents[3]
                         / "benchmarks" / "history" / "hotpath_history.jsonl")
+
+#: sibling history for the Fig.-1 nnz sweep (fill-in ratios, not rates --
+#: it shares the JSONL entry shape so load_history/tracked_medians apply)
+FIG1_HISTORY_PATH = (Path(__file__).resolve().parents[3]
+                     / "benchmarks" / "history" / "fig1_history.jsonl")
 
 #: gate only once this many runs of the same mode are on record
 DEFAULT_MIN_HISTORY = 3
@@ -98,20 +105,35 @@ def load_history(history_path: Union[str, Path]) -> List[Dict[str, object]]:
     return entries
 
 
-def record_run(payload: Dict[str, object],
-               history_path: Union[str, Path] = DEFAULT_HISTORY_PATH) -> Dict[str, object]:
-    """Append one benchmark run to the history file and return the entry."""
+def record_entry(series: Dict[str, float], mode: str,
+                 history_path: Union[str, Path]) -> Dict[str, object]:
+    """Append one ``{recorded_at, mode, rates}`` entry to a JSONL history.
+
+    The generic writer behind :func:`record_run`; other benchmarks (the
+    Fig.-1 nnz sweep) append their own series through it so every history
+    file stays readable by :func:`load_history`/:func:`tracked_medians`.
+    """
     path = Path(history_path)
     path.parent.mkdir(parents=True, exist_ok=True)
     entry = {
         "recorded_at": time.time(),
-        "mode": payload.get("mode", "full"),
-        "rates": {f"{case}/{method}": rate
-                  for (case, method), rate in extract_rates(payload).items()},
+        "mode": mode,
+        "rates": {str(key): float(value) for key, value in series.items()},
     }
     with path.open("a") as fh:
         fh.write(json.dumps(entry) + "\n")
     return entry
+
+
+def record_run(payload: Dict[str, object],
+               history_path: Union[str, Path] = DEFAULT_HISTORY_PATH) -> Dict[str, object]:
+    """Append one benchmark run to the history file and return the entry."""
+    return record_entry(
+        {f"{case}/{method}": rate
+         for (case, method), rate in extract_rates(payload).items()},
+        mode=str(payload.get("mode", "full")),
+        history_path=history_path,
+    )
 
 
 def tracked_medians(history: List[Dict[str, object]], mode: str,

@@ -210,9 +210,13 @@ class WatchClient:
             if dt > 0:
                 for key, total in totals.items():
                     delta = total - prev_totals.get(key, 0.0)
-                    # counter went backwards: a restarted fleet member;
-                    # report the rate as the new absolute level
-                    rates[key] = max(0.0, delta) / dt
+                    if delta < 0.0:
+                        # counter went backwards: a restarted fleet member;
+                        # everything the new process has counted happened
+                        # since the previous poll, so the new absolute level
+                        # is the increase (Prometheus counter-reset rule)
+                        delta = total
+                    rates[key] = delta / dt
         self._readings.append((ts, totals))
         for key, value in rates.items():
             series = self._rate_history.setdefault(

@@ -145,16 +145,27 @@ class TestBackpressure:
         server.start()
         try:
             url = server.url
-            body = {"scenario": scenario_body(),
-                    "base_options": FAST_BASE_OPTIONS}
-            status, document, headers = http(f"{url}/scenarios", body)
+            # an empty queue is *at* the limit, not over it: the first
+            # submission must still be admitted (the depth-0 regression)
+            status, _, _ = http(
+                f"{url}/scenarios",
+                {"scenario": scenario_body(name="bp-first"),
+                 "base_options": FAST_BASE_OPTIONS})
+            assert status == 202
+
+            # now one job is queued (no workers drain it), so depth 1 > 0:
+            # further submissions bounce with the back-off hint
+            status, document, headers = http(
+                f"{url}/scenarios",
+                {"scenario": scenario_body(name="bp-second"),
+                 "base_options": FAST_BASE_OPTIONS})
             assert status == 429
             assert "Retry-After" in headers
             assert int(headers["Retry-After"]) >= 1
             assert "queue depth" in document["error"]
 
             status, _, _ = http(f"{url}/campaigns",
-                                {"scenarios": [scenario_body()],
+                                {"scenarios": [scenario_body(name="bp-camp")],
                                  "base_options": FAST_BASE_OPTIONS})
             assert status == 429
 
@@ -177,5 +188,38 @@ class TestBackpressure:
                 {"scenario": scenario_body(),
                  "base_options": FAST_BASE_OPTIONS})
             assert status == 202
+        finally:
+            server.shutdown()
+
+    def test_depth_exactly_at_limit_admits(self, tmp_path):
+        """The boundary case: a queue exactly at --max-queue-depth admits.
+
+        The limit is a capacity, not a fence -- rejection starts strictly
+        *over* it.  With a depth limit of 2 and no workers draining, the
+        first three distinct submissions see depths 0, 1 and 2 (each at or
+        under the limit) and must all land; the fourth sees depth 3 and
+        must bounce.  The scenarios differ in ``segments`` (not just name)
+        so the coalescer cannot fold them into one queued job.
+        """
+        server = ServiceServer(data_dir=tmp_path / "edge", poll_interval=0.05,
+                               max_queue_depth=2)
+        server.start()
+        try:
+            url = server.url
+            for index in range(3):
+                status, _, _ = http(
+                    f"{url}/scenarios",
+                    {"scenario": scenario_body(name=f"edge-{index}",
+                                               segments=4 + index),
+                     "base_options": FAST_BASE_OPTIONS})
+                assert status == 202, f"submission at depth {index} must admit"
+            status, document, _ = http(
+                f"{url}/scenarios",
+                {"scenario": scenario_body(name="edge-overflow", segments=17),
+                 "base_options": FAST_BASE_OPTIONS})
+            assert status == 429
+            assert "exceeds the configured limit 2" in document["error"]
+            _, stats, _ = http(f"{url}/stats")
+            assert stats["backpressure"]["rejections"] == 1
         finally:
             server.shutdown()

@@ -6,7 +6,12 @@ import pytest
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import PWL
 from repro.core.options import SimOptions
-from repro.core.results import RunStatistics, SimulationResult, StepRecord
+from repro.core.results import (
+    ObservableSummary,
+    RunStatistics,
+    SimulationResult,
+    StepRecord,
+)
 from repro.core.simulator import TransientSimulator, simulate
 
 
@@ -147,6 +152,72 @@ class TestSimulationResult:
         piecewise-linear input assumption of Eq. 13 holds."""
         result = simulate(rc_circuit(), "er", t_stop=1e-9, h_init=0.3e-10)
         assert np.any(np.isclose(result.time_array, 0.1e-9, rtol=0, atol=1e-18))
+
+
+class TestObservableSummary:
+    def test_empty_summary(self):
+        summary = ObservableSummary()
+        d = summary.as_dict()
+        assert d["num_points"] == 0
+        assert np.isnan(d["final"])
+
+    def test_known_series(self):
+        # v(t): 0 @ t=0, 2 @ t=1, 2 @ t=2 -- trapezoids by hand:
+        # energy = 0.5*(0+4)*1 + 0.5*(4+4)*1 = 6
+        summary = ObservableSummary.from_series([0.0, 1.0, 2.0],
+                                                [0.0, 2.0, 2.0])
+        assert summary.num_points == 3
+        assert summary.minimum == 0.0
+        assert summary.maximum == 2.0
+        assert summary.final == 2.0
+        assert summary.final_time == 2.0
+        assert summary.energy == pytest.approx(6.0)
+        assert summary.l2_norm == pytest.approx(np.sqrt(8.0))
+
+    def test_incremental_matches_replay(self):
+        rng = np.random.default_rng(11)
+        times = np.cumsum(rng.uniform(0.1, 1.0, size=50))
+        values = rng.standard_normal(50)
+        streamed = ObservableSummary()
+        for t, v in zip(times, values):
+            streamed.update(t, v)
+        assert streamed.as_dict() == \
+            ObservableSummary.from_series(times, values).as_dict()
+
+
+class TestStreamingSummaries:
+    """store_states=False must lose nothing the summaries promise."""
+
+    OPTS = dict(t_stop=1e-9, h_init=1e-11, observe_nodes=["out"])
+
+    def test_streaming_summaries_bit_for_bit_match_stored_run(self):
+        stored = simulate(rc_circuit(), "er", **self.OPTS)
+        streamed = simulate(rc_circuit(), "er", store_states=False,
+                            **self.OPTS)
+        replayed = ObservableSummary.from_series(stored.times,
+                                                 stored.voltage("out"))
+        assert streamed.summaries["out"].as_dict() == replayed.as_dict()
+
+    def test_final_state_survives_streaming(self):
+        stored = simulate(rc_circuit(), "benr", **self.OPTS)
+        streamed = simulate(rc_circuit(), "benr", store_states=False,
+                            **self.OPTS)
+        np.testing.assert_array_equal(streamed.final_state,
+                                      stored.final_state)
+
+    def test_summary_carries_observables(self):
+        result = simulate(rc_circuit(), "er", store_states=False,
+                          **self.OPTS)
+        observables = result.summary()["observables"]
+        assert set(observables) == {"out"}
+        for key in ("num_points", "min", "max", "final", "l2", "energy"):
+            assert key in observables["out"]
+
+    def test_stored_run_summaries_match_its_own_series(self):
+        result = simulate(rc_circuit(), "trap", **self.OPTS)
+        replayed = ObservableSummary.from_series(result.times,
+                                                 result.voltage("out"))
+        assert result.summaries["out"].as_dict() == replayed.as_dict()
 
 
 class TestRunStatistics:

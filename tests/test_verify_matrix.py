@@ -21,12 +21,14 @@ from repro.verify.invariants import (
     check_energy_decay,
     check_lu_accounting,
     check_slope_consistency,
+    check_symbolic_accounting,
 )
 from repro.verify.matrix import (
     MATRIX_FAMILIES,
     MATRIX_METHODS,
     CheckRow,
     VerifyReport,
+    _symbolic_reuse_invariants,
     matrix_scenarios,
     oracle_scenarios,
     run_matrix,
@@ -135,6 +137,29 @@ class TestInvariantChecks:
         tampered.stats.lu.num_reused += 5  # silently inflated hit counter
         violations = check_lu_accounting(tampered, result)
         assert any(v.invariant == "lu-accounting" for v in violations)
+
+    def test_symbolic_accounting_identity_on_real_run(self):
+        mna = driven_family(family="rc_ladder", source="ramp",
+                            t_stop=0.25e-9, num_segments=8).build()
+        options = SimOptions(t_stop=0.25e-9, h_init=2e-12, h_max=4e-12,
+                             cache_linearization=False)
+        result = TransientSimulator(mna, "benr", options=options).run()
+        assert check_symbolic_accounting(result) == []
+
+    def test_symbolic_accounting_catches_dishonest_counters(self):
+        mna = driven_family(family="rc_ladder", source="ramp",
+                            t_stop=0.25e-9, num_segments=8).build()
+        options = SimOptions(t_stop=0.25e-9, h_init=2e-12, h_max=4e-12)
+        result = TransientSimulator(mna, "benr", options=options).run()
+        result.stats.lu.num_symbolic_reuses += 3  # inflated reuse counter
+        violations = check_symbolic_accounting(result)
+        assert any(v.invariant == "symbolic-accounting" for v in violations)
+
+    def test_symbolic_reuse_invariants_pass_on_smoke_case(self):
+        rows = _symbolic_reuse_invariants(
+            smoke=True, cases=(("rc_ladder", "ramp", "benr"),))
+        assert rows and all(row.ok for row in rows), [
+            row.detail for row in rows if not row.ok]
 
 
 class TestReport:

@@ -96,6 +96,13 @@ class _FakeFrontEnd:
     def advance_steps(self, amount):
         self.registry.get("repro_integrator_steps_total").inc(amount)
 
+    def reset_steps(self, new_total):
+        """Simulate a restarted fleet member republishing from zero."""
+        registry = MetricsRegistry()
+        registry.counter("repro_integrator_steps_total", "Steps.").inc(
+            new_total)
+        self.registry = registry
+
     def shutdown(self):
         self.httpd.shutdown()
         self.httpd.server_close()
@@ -140,6 +147,23 @@ class TestAgainstFakeFrontEnd:
         assert second.rates["steps_per_sec"] == pytest.approx(500 / dt)
         assert second.history["steps_per_sec"] == \
             [second.rates["steps_per_sec"]]
+
+    def test_counter_reset_reports_new_level_not_zero(self, fake):
+        """A restarted fleet member must not flatline the rate.
+
+        When a counter goes backwards (process restart republishing from
+        zero), everything the new process counted happened since the last
+        poll, so the new absolute level is the increase -- the Prometheus
+        counter-reset rule.  A regression here clamps the rate to 0.0 and
+        hides exactly the restarts the dashboard exists to surface.
+        """
+        client = WatchClient(fake.url)
+        first = client.poll()
+        fake.reset_steps(250)
+        second = client.poll()
+        dt = second.ts - first.ts
+        assert second.rates["steps_per_sec"] == pytest.approx(250 / dt)
+        assert second.rates["steps_per_sec"] > 0.0
 
     def test_plain_render_contains_every_section(self, fake):
         client = WatchClient(fake.url)

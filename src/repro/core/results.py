@@ -64,6 +64,11 @@ class RunStatistics:
     lu: LUStats = field(default_factory=LUStats)
     mevp: MEVPStats = field(default_factory=MEVPStats)
     device_evaluations: int = 0
+    #: accepted steps whose size sat exactly on a ladder rung
+    num_ladder_steps: int = 0
+    #: accepted on-rung steps that repeated the previous step's rung
+    #: (each one reuses the cached factorization by construction)
+    num_ladder_holds: int = 0
 
     @property
     def average_newton_iterations(self) -> float:
@@ -97,6 +102,16 @@ class RunStatistics:
         return self.lu.num_symbolic_reuses
 
     @property
+    def num_stale_reuses(self) -> int:
+        """Requests served by a stale cross-``h`` factorization + refinement."""
+        return self.lu.num_stale_reuses
+
+    @property
+    def num_refinement_fallbacks(self) -> int:
+        """Stale cross-``h`` solves that fell back to a fresh factorization."""
+        return self.lu.num_refinement_fallbacks
+
+    @property
     def peak_factor_nnz(self) -> int:
         """Peak ``nnz(L)+nnz(U)`` seen -- the memory proxy for Table I."""
         return self.lu.peak_factor_nnz
@@ -111,6 +126,10 @@ class RunStatistics:
             "#LU": self.num_lu_factorizations,
             "#LUhit": self.num_lu_cache_hits,
             "#LUsym": self.num_symbolic_reuses,
+            "#LUstale": self.num_stale_reuses,
+            "#LUfallback": self.num_refinement_fallbacks,
+            "#ladder": self.num_ladder_steps,
+            "#ladderhold": self.num_ladder_holds,
             "RT(s)": self.runtime_seconds,
             "peak_factor_nnz": self.peak_factor_nnz,
             "completed": self.completed,

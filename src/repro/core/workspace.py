@@ -21,6 +21,16 @@ comparison under redundant work.  :class:`LinearizationCache` removes it:
   bypass of production SPICE engines.  Bypass perturbs the iteration (it
   is an inexact-Newton / frozen-Jacobian strategy), so it is off by
   default and every reuse is counted separately from real factorizations.
+* **Cross-``h`` stale reuse** -- the same idea one level up, applied to
+  *step-size* drift on the linear fast path (``SimOptions.h_bypass_tol``):
+  a request for ``LU(C/h_new + G)`` that only just misses a cached
+  ``LU(C/h_cached + G)`` is served by the stale factors plus iterative
+  refinement against the exact operator
+  (:class:`~repro.linalg.sparse_lu.RefinedLU`), so adaptive controllers
+  stop paying a fresh factorization for every small ``h`` adjustment.
+  Unlike bypass this never perturbs the solution beyond the refinement
+  tolerance, and stalled refinements fall back to (counted) real
+  factorizations.
 
 Honest accounting is part of the contract: reuses land in
 ``LUStats.num_reused`` / ``num_bypassed`` while ``num_factorizations``
@@ -48,7 +58,13 @@ import scipy.sparse as sp
 
 from repro.circuit.mna import EvalResult, MNASystem
 from repro.core.options import SimOptions
-from repro.linalg.sparse_lu import LUStats, SparseLU, SymbolicCache, factorize
+from repro.linalg.sparse_lu import (
+    LUStats,
+    RefinedLU,
+    SparseLU,
+    SymbolicCache,
+    factorize,
+)
 
 __all__ = ["LinearizationCache"]
 
@@ -86,8 +102,9 @@ def _relative_change(new: sp.spmatrix, old: sp.spmatrix) -> float:
 class LinearizationCache:
     """Per-integrator cache of linearizations and LU factorizations."""
 
-    #: cap on distinct cached (matrix, LU) entries; adaptive step-size
-    #: controllers cycle through a handful of ``h`` values at a time
+    #: default cap on distinct cached (matrix, LU) entries; adaptive
+    #: step-size controllers cycle through a handful of ``h`` values at a
+    #: time (per-cache override: ``SimOptions.lu_cache_entries``)
     MAX_ENTRIES = 8
 
     def __init__(self, mna: MNASystem, options: Optional[SimOptions] = None):
@@ -96,6 +113,11 @@ class LinearizationCache:
         self.enabled = bool(options.cache_linearization)
         self.bypass_tol = float(options.bypass_tol)
         self.gshunt = float(options.gshunt)
+        self.max_entries = int(options.lu_cache_entries)
+        #: cross-``h`` stale-reuse threshold; 0 keeps the exact-key policy
+        self.h_bypass_tol = float(options.h_bypass_tol)
+        self.h_bypass_refine_tol = float(options.h_bypass_refine_tol)
+        self.h_bypass_max_refinements = int(options.h_bypass_max_refinements)
         #: pattern-keyed symbolic-factorization reuse; orthogonal to the
         #: value-keyed LU cache above it (a fresh factorization with a
         #: reused ordering is still a real, counted factorization)
@@ -126,10 +148,10 @@ class LinearizationCache:
             self.symbolic.clear()
 
     def _put(self, store: "OrderedDict", key: CacheKey, value) -> None:
-        """Insert as most-recent and evict least-recent past MAX_ENTRIES."""
+        """Insert as most-recent and evict least-recent past the capacity."""
         store[key] = value
         store.move_to_end(key)
-        while len(store) > self.MAX_ENTRIES:
+        while len(store) > self.max_entries:
             store.popitem(last=False)
 
     # -- linearization ------------------------------------------------------------------
@@ -207,7 +229,16 @@ class LinearizationCache:
         2. bypass -- nonlinear circuits with ``bypass_tol > 0`` reuse the
            stale factors while the relative linearization drift stays
            under the threshold; counted in ``stats.num_bypassed``;
-        3. otherwise a real factorization is performed (and cached when a
+        3. stale cross-``h`` -- linear circuits with ``h_bypass_tol > 0``:
+           when no exact entry exists but a cached key differs only in its
+           float components (the step size) by at most ``h_bypass_tol``
+           relative, the closest such factorization is handed out wrapped
+           in a :class:`~repro.linalg.sparse_lu.RefinedLU` that solves the
+           *exact* requested operator by iterative refinement; counted in
+           ``stats.num_stale_reuses`` (with failed refinements falling back
+           to a real factorization, counted in
+           ``stats.num_refinement_fallbacks``);
+        4. otherwise a real factorization is performed (and cached when a
            future reuse is possible at all).
         """
         if not self.enabled:
@@ -238,9 +269,78 @@ class LinearizationCache:
                         stats.num_bypassed += 1
                     return lu
 
+        if entry is None and self.reuse_exact and self.h_bypass_tol > 0.0:
+            stale = self._stale_candidate(key)
+            if stale is not None:
+                stale_key, stale_lu = stale
+                self._lus.move_to_end(stale_key)
+                if stats is not None:
+                    stats.num_stale_reuses += 1
+
+                def fallback() -> SparseLU:
+                    fresh = factorize(matrix, stats=stats,
+                                      max_factor_nnz=max_factor_nnz,
+                                      label=label, symbolic=self.symbolic)
+                    self._put(self._lus, key, (matrix, fresh))
+                    return fresh
+
+                return RefinedLU(
+                    stale_lu,
+                    matrix,
+                    stats,
+                    rtol=self.h_bypass_refine_tol,
+                    max_refinements=self.h_bypass_max_refinements,
+                    fallback=fallback,
+                    label=label or stale_lu.label,
+                )
+
         lu = factorize(matrix, stats=stats,
                        max_factor_nnz=max_factor_nnz, label=label,
                        symbolic=self.symbolic)
         if self._stores_entries:
             self._put(self._lus, key, (matrix, lu))
         return lu
+
+    # -- stale cross-h candidates -----------------------------------------------------------
+
+    def _stale_candidate(
+        self, key: CacheKey
+    ) -> Optional[Tuple[CacheKey, SparseLU]]:
+        """Find the cached factorization closest to ``key`` within tolerance.
+
+        Two keys are comparable when they have the same arity and agree on
+        every non-float component (the method tag); each float component
+        (the step size, Gear's ``a0``) must stay within ``h_bypass_tol``
+        relative to the cached value.  Among comparable entries the one
+        with the smallest drift wins -- refinement converges at a rate set
+        by the drift, so closer is strictly cheaper.
+        """
+        best: Optional[Tuple[CacheKey, SparseLU]] = None
+        best_drift = np.inf
+        for cached_key, (_, cached_lu) in self._lus.items():
+            if not isinstance(cached_lu, SparseLU):
+                continue
+            drift = self._key_drift(key, cached_key)
+            if drift is not None and drift < best_drift:
+                best = (cached_key, cached_lu)
+                best_drift = drift
+        return best
+
+    def _key_drift(self, new_key: CacheKey, old_key: CacheKey) -> Optional[float]:
+        """Relative float-component distance between keys, or None if apart."""
+        if len(new_key) != len(old_key):
+            return None
+        drift = 0.0
+        for new_part, old_part in zip(new_key, old_key):
+            if isinstance(new_part, float) and isinstance(old_part, float):
+                if new_part == old_part:
+                    continue
+                if old_part == 0.0:
+                    return None
+                part = abs(new_part - old_part) / abs(old_part)
+                if not part <= self.h_bypass_tol:
+                    return None
+                drift = max(drift, part)
+            elif new_part != old_part:
+                return None
+        return drift

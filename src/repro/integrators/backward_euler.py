@@ -115,7 +115,7 @@ class BackwardEulerNR(Integrator):
 
             if not newton.converged:
                 rejections += 1
-                h_try *= opts.alpha
+                h_try = self.snap_retry(h_try * opts.alpha)
                 if h_try < h_min or rejections > opts.max_rejections:
                     raise ConvergenceError(
                         f"BENR Newton iteration failed to converge at t={t:g} "
@@ -135,7 +135,7 @@ class BackwardEulerNR(Integrator):
                 )
             factor = max(self.MIN_FACTOR,
                          self.SAFETY * error_ratio ** -0.5)
-            h_try = max(h_try * factor, h_min)
+            h_try = self.snap_retry(max(h_try * factor, h_min))
 
         # next-step suggestion from the asymptotic controller
         if error_ratio > 0.0:

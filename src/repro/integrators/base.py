@@ -23,6 +23,7 @@ from repro.circuit.mna import EvalResult, MNASystem
 from repro.core.options import SimOptions
 from repro.core.results import RunStatistics, SimulationResult, StepRecord
 from repro.core.workspace import LinearizationCache
+from repro.integrators.ladder import GeometricLadder
 from repro.linalg.sparse_lu import FactorizationBudgetExceeded
 from repro.telemetry import metrics as telemetry
 
@@ -68,6 +69,21 @@ _TM_BASIS_REUSES = telemetry.counter(
     "repro_integrator_basis_reuses_total",
     "Krylov MEVP evaluations served from a reused segment-slope basis.",
     ("method",))
+_TM_LU_STALE = telemetry.counter(
+    "repro_integrator_lu_stale_reuses_total",
+    "Jacobian requests served by a stale cross-h factorization plus "
+    "iterative refinement.", ("method",))
+_TM_LU_FALLBACKS = telemetry.counter(
+    "repro_integrator_lu_refinement_fallbacks_total",
+    "Stale cross-h solves whose refinement stalled, forcing a fresh "
+    "factorization.", ("method",))
+_TM_LADDER_STEPS = telemetry.counter(
+    "repro_integrator_ladder_steps_total",
+    "Accepted steps taken exactly on a step-ladder rung.", ("method",))
+_TM_LADDER_HOLDS = telemetry.counter(
+    "repro_integrator_ladder_holds_total",
+    "Accepted on-rung steps that repeated the previous step's rung.",
+    ("method",))
 _TM_RUN_SECONDS = telemetry.histogram(
     "repro_integrator_run_seconds",
     "Wall-clock seconds per transient run.", ("method",))
@@ -105,6 +121,9 @@ class Integrator(ABC):
         self.cache = LinearizationCache(mna, self.options)
         #: statistics accumulator; replaced by the result's accumulator in run()
         self.stats = RunStatistics(method=self.name)
+        #: per-run step-size ladder (``SimOptions.step_ladder``); built by
+        #: run() so each run starts with a fresh active rung
+        self._ladder: Optional[GeometricLadder] = None
 
     # -- shared helpers ---------------------------------------------------------------
 
@@ -141,6 +160,30 @@ class Integrator(ABC):
         scale = abstol + reltol * np.abs(reference)
         return float(np.max(np.abs(delta) / scale)) if delta.size else 0.0
 
+    def snap_retry(self, h_try: float) -> float:
+        """Snap a rejection-shrunk retry step onto the active ladder.
+
+        Identity when the ladder is off, so default-knob trajectories are
+        untouched.  Called by the implicit methods' internal rejection
+        loops so retries land on rungs whose factorization is (or becomes)
+        cached instead of on one-shot step sizes.
+        """
+        if self._ladder is None:
+            return h_try
+        return self._ladder.snap_retry(h_try)
+
+    def _make_ladder(self) -> Optional[GeometricLadder]:
+        opts = self.options
+        if opts.step_ladder != "geometric":
+            return None
+        h_max = opts.resolved_h_max()
+        return GeometricLadder(
+            h_ref=min(opts.resolved_h_init(), h_max),
+            ratio=opts.step_ladder_ratio,
+            h_min=opts.resolved_h_min(),
+            h_max=h_max,
+        )
+
     # -- abstract interface ------------------------------------------------------------
 
     def prepare(self, x0: np.ndarray, t0: float) -> None:
@@ -175,6 +218,10 @@ class Integrator(ABC):
         h_min = opts.resolved_h_min()
         h_max = opts.resolved_h_max()
         h_next = min(opts.resolved_h_init(), h_max)
+        ladder = self._make_ladder()
+        self._ladder = ladder
+        if ladder is not None:
+            h_next = ladder.quantize(h_next)
 
         breakpoints = [bp for bp in self.mna.breakpoints(opts.t_stop) if bp > t]
         breakpoints.append(opts.t_stop)
@@ -201,6 +248,9 @@ class Integrator(ABC):
                     else opts.t_stop
                 h = min(h_next, h_max, next_stop - t, opts.t_stop - t)
                 h = max(h, min(h_min, next_stop - t))
+                # a step shortened to land on a breakpoint (or the horizon)
+                # is an event of the *input*, not a verdict on the step size
+                clipped = h < h_next * (1.0 - 1e-12)
 
                 outcome = self.advance(x, t, h)
                 if outcome.h_used <= 0:
@@ -211,7 +261,22 @@ class Integrator(ABC):
                 t += outcome.h_used
                 result.record_point(t, x)
                 result.record_step(outcome.record)
-                h_next = float(np.clip(outcome.h_next, h_min, h_max))
+                proposed = outcome.h_next
+                if ladder is not None:
+                    previous_rung = ladder.active_rung
+                    rung = ladder.observe(outcome.h_used)
+                    if rung is not None:
+                        self.stats.num_ladder_steps += 1
+                        if rung == previous_rung:
+                            self.stats.num_ladder_holds += 1
+                    elif (clipped and outcome.record.rejections == 0
+                          and ladder.active_value is not None):
+                        # breakpoint landing: resume from the rung that was
+                        # active before the truncated step instead of
+                        # compounding the controller's growth factor from it
+                        proposed = max(proposed, ladder.active_value)
+                    proposed = ladder.quantize(proposed)
+                h_next = float(np.clip(proposed, h_min, h_max))
             result.stats.completed = True
         except (FactorizationBudgetExceeded, IntegratorError, np.linalg.LinAlgError) as exc:
             result.stats.completed = False
@@ -229,13 +294,16 @@ class Integrator(ABC):
                 stats.total_newton_iterations, stats.lu.num_factorizations,
                 stats.lu.num_reused, stats.lu.num_bypassed,
                 stats.lu.num_orderings, stats.lu.num_symbolic_reuses,
+                stats.lu.num_stale_reuses, stats.lu.num_refinement_fallbacks,
+                stats.num_ladder_steps, stats.num_ladder_holds,
                 stats.mevp.num_basis_reuses, stats.runtime_seconds)
 
     def _publish_telemetry(self, before) -> None:
         after = self._stats_snapshot()
         deltas = [max(0, b - a) for a, b in zip(before, after)]
         (steps, rejections, newton, lu, reused, bypassed,
-         orderings, symbolic, basis, seconds) = deltas
+         orderings, symbolic, stale, fallbacks, ladder_steps, ladder_holds,
+         basis, seconds) = deltas
         method = self.name
         _TM_RUNS.labels(method, "yes" if self.stats.completed else "no").inc()
         if steps:
@@ -254,6 +322,14 @@ class Integrator(ABC):
             _TM_LU_ORDERINGS.labels(method).inc(orderings)
         if symbolic:
             _TM_LU_SYMBOLIC.labels(method).inc(symbolic)
+        if stale:
+            _TM_LU_STALE.labels(method).inc(stale)
+        if fallbacks:
+            _TM_LU_FALLBACKS.labels(method).inc(fallbacks)
+        if ladder_steps:
+            _TM_LADDER_STEPS.labels(method).inc(ladder_steps)
+        if ladder_holds:
+            _TM_LADDER_HOLDS.labels(method).inc(ladder_holds)
         if basis:
             _TM_BASIS_REUSES.labels(method).inc(basis)
         _TM_RUN_SECONDS.labels(method).observe(seconds)

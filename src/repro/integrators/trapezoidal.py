@@ -83,7 +83,7 @@ class TrapezoidalNR(Integrator):
             newton_total += newton.iterations
             if not newton.converged:
                 rejections += 1
-                h_try *= opts.alpha
+                h_try = self.snap_retry(h_try * opts.alpha)
                 if h_try < h_min or rejections > opts.max_rejections:
                     raise ConvergenceError(
                         f"TRNR Newton iteration failed to converge at t={t:g}"
@@ -105,7 +105,7 @@ class TrapezoidalNR(Integrator):
                     f"TRNR step control rejected the step {opts.max_rejections} times at t={t:g}"
                 )
             factor = max(self.MIN_FACTOR, self.SAFETY * error_ratio ** (-1.0 / 3.0))
-            h_try = max(h_try * factor, h_min)
+            h_try = self.snap_retry(max(h_try * factor, h_min))
 
         if error_ratio > 0.0:
             factor = min(self.MAX_FACTOR,

@@ -39,6 +39,8 @@ __all__ = [
     "check_energy_decay",
     "check_lu_accounting",
     "check_symbolic_accounting",
+    "check_adaptive_reuse_accounting",
+    "check_adaptive_band",
 ]
 
 
@@ -227,5 +229,88 @@ def check_symbolic_accounting(result, subject: str = "") -> List[InvariantViolat
             "symbolic-accounting", subject,
             f"#LU={lu.num_factorizations} != orderings={lu.num_orderings} "
             f"+ symbolic_reuses={lu.num_symbolic_reuses}",
+        ))
+    return violations
+
+
+def check_adaptive_reuse_accounting(result, subject: str = "") -> List[InvariantViolation]:
+    """Single-run accounting identities of the cache-aware stepping path.
+
+    Valid for the implicit methods (BENR / TR / Gear2) on any circuit:
+    their Newton loop performs exactly one Jacobian request plus one
+    triangular solve per non-converged iteration, and every request is
+    served by exactly one of {fresh factorization, exact cache hit,
+    bypass, stale cross-``h`` reuse}.  A refinement fallback is a fresh
+    factorization taken *inside* an already-counted stale solve, so it
+    must not add a solve of its own.  Hence:
+
+    * ``#solves == (#LU - fallbacks) + reused + bypassed + stale``;
+    * ``fallbacks <= stale`` -- a fallback can only happen to a request
+      that was first served stale;
+    * ``#LU == orderings + symbolic reuses`` (delegated).
+
+    Not applicable to ER, whose ``solve_many`` performs several counted
+    solves per factorization request.
+    """
+    lu = result.stats.lu
+    violations = check_symbolic_accounting(result, subject=subject)
+    expected = (lu.num_factorizations - lu.num_refinement_fallbacks
+                + lu.num_reused + lu.num_bypassed + lu.num_stale_reuses)
+    if lu.num_solves != expected:
+        violations.append(InvariantViolation(
+            "adaptive-reuse-accounting", subject,
+            f"#solves={lu.num_solves} != (#LU={lu.num_factorizations} - "
+            f"fallbacks={lu.num_refinement_fallbacks}) + "
+            f"reused={lu.num_reused} + bypassed={lu.num_bypassed} + "
+            f"stale={lu.num_stale_reuses}",
+        ))
+    if lu.num_refinement_fallbacks > lu.num_stale_reuses:
+        violations.append(InvariantViolation(
+            "adaptive-reuse-accounting", subject,
+            f"fallbacks={lu.num_refinement_fallbacks} exceed "
+            f"stale reuses={lu.num_stale_reuses}",
+        ))
+    return violations
+
+
+def check_adaptive_band(
+    exact_result,
+    reuse_result,
+    node: str,
+    band: float,
+    subject: str = "",
+    samples: int = 256,
+) -> List[InvariantViolation]:
+    """Bound the waveform deviation of a ladder/stale run vs an exact run.
+
+    The two runs take *different step sequences* (quantization changes the
+    grid), so the observed node waveforms are compared after linear
+    interpolation onto a common uniform grid.  Both runs approximate the
+    same solution within the method's own tolerance band; a deviation
+    beyond ``band`` means the reuse machinery changed the *solution*, not
+    just the schedule.
+    """
+    violations: List[InvariantViolation] = []
+    for tag, result in (("exact", exact_result), ("reuse", reuse_result)):
+        if not result.stats.completed:
+            violations.append(InvariantViolation(
+                "adaptive-band", subject,
+                f"{tag} run failed: {result.stats.failure_reason}",
+            ))
+    if violations:
+        return violations
+    t_lo = max(exact_result.times[0], reuse_result.times[0])
+    t_hi = min(exact_result.times[-1], reuse_result.times[-1])
+    grid = np.linspace(t_lo, t_hi, samples)
+    exact = np.interp(grid, np.asarray(exact_result.times),
+                      np.asarray(exact_result.voltage(node)))
+    reuse = np.interp(grid, np.asarray(reuse_result.times),
+                      np.asarray(reuse_result.voltage(node)))
+    deviation = float(np.max(np.abs(reuse - exact)))
+    if not deviation <= band:
+        violations.append(InvariantViolation(
+            "adaptive-band", subject,
+            f"ladder/stale waveform deviates {deviation:.3e} from the "
+            f"exact adaptive run at node {node!r} (band {band:.1e})",
         ))
     return violations

@@ -43,6 +43,8 @@ from repro.verify.circuits import SOURCE_NAMES, family_observe_node, make_drive
 from repro.verify.golden import DEFAULT_SAMPLE_POINTS, GoldenStore
 from repro.verify.invariants import (
     InvariantViolation,
+    check_adaptive_band,
+    check_adaptive_reuse_accounting,
     check_energy_decay,
     check_lu_accounting,
     check_slope_consistency,
@@ -532,6 +534,66 @@ def _symbolic_reuse_invariants(
     return rows
 
 
+def _adaptive_reuse_invariants(
+        smoke: bool,
+        cases: Sequence[Tuple[str, str, str]] = (
+            ("rc_ladder", "ramp", "benr"),
+            ("rc_mesh", "pulse", "trap"),
+        )) -> List[CheckRow]:
+    """Ladder + stale-reuse runs: counted savings, in-band trajectories.
+
+    Runs each case with the cache-aware stepping knobs *off* (the exact
+    baseline) and *on* (``step_ladder="geometric"`` plus a 5% stale
+    cross-``h`` bypass).  The on-run must (a) satisfy the extended solve
+    accounting identity ``#solves == (#LU - fallbacks) + reused +
+    bypassed + stale``, (b) not pay more factorizations than the exact
+    run -- the whole point of the mechanism -- and (c) stay inside the
+    per-family differential band (twice the method's oracle band, scaled
+    by the family's ``cross_scale``) of the exact trajectory.
+    """
+    from repro.verify.circuits import driven_family
+
+    t_stop = _horizon(smoke)
+    size = "smoke" if smoke else "full"
+    rows: List[CheckRow] = []
+    for family, source, method in cases:
+        config = MATRIX_FAMILIES[family]
+        params = dict(config[size])
+        node = family_observe_node(family, params)
+        mna = driven_family(family=family, source=source,
+                            t_stop=t_stop, **params).build()
+        results = {}
+        for reuse in (False, True):
+            options = SimOptions(
+                t_stop=t_stop, h_init=config["h_init"],
+                h_max=config["h_max"], store_states=True,
+                step_ladder="geometric" if reuse else "off",
+                h_bypass_tol=0.05 if reuse else 0.0,
+            )
+            results[reuse] = TransientSimulator(
+                mna, method=method, options=options).run()
+        subject = f"{family}/{source}/{method}"
+        exact, reused = results[False], results[True]
+        violations = list(check_adaptive_reuse_accounting(
+            reused, subject=f"{subject}/ladder+stale"))
+        if reused.stats.lu.num_factorizations > exact.stats.lu.num_factorizations:
+            violations.append(InvariantViolation(
+                "adaptive-reuse", subject,
+                f"ladder+stale paid more LUs than the exact run: "
+                f"{reused.stats.lu.num_factorizations} vs "
+                f"{exact.stats.lu.num_factorizations}",
+            ))
+        band = float(config["cross_scale"]) * 2.0 * DEFAULT_METHOD_BANDS[method]
+        violations.extend(check_adaptive_band(
+            exact, reused, node, band, subject=subject))
+        rows.extend(_invariant_rows(
+            violations, subject=f"adaptive-reuse:{family}/{source}",
+            method=method,
+            total_label="ladder+stale: counted reuse, in-band trajectories",
+        ))
+    return rows
+
+
 def _golden_checks(campaign: CampaignResult, store: GoldenStore,
                    regenerate: bool, allow_widen: bool,
                    tolerance: float) -> List[CheckRow]:
@@ -623,6 +685,7 @@ def run_matrix(
     report.checks.extend(_energy_invariants(smoke))
     report.checks.extend(_lu_accounting_invariants(smoke))
     report.checks.extend(_symbolic_reuse_invariants(smoke))
+    report.checks.extend(_adaptive_reuse_invariants(smoke))
     if golden_root is not None:
         store = GoldenStore(golden_root)
         report.checks.extend(_golden_checks(

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 __all__ = [
+    "ADAPTIVE_HISTORY_PATH",
     "DEFAULT_HISTORY_PATH",
     "FIG1_HISTORY_PATH",
     "PerfRegression",
@@ -48,6 +49,11 @@ DEFAULT_HISTORY_PATH = (Path(__file__).resolve().parents[3]
 #: it shares the JSONL entry shape so load_history/tracked_medians apply)
 FIG1_HISTORY_PATH = (Path(__file__).resolve().parents[3]
                      / "benchmarks" / "history" / "fig1_history.jsonl")
+
+#: sibling history for the cache-aware stepping benchmark (LU-count
+#: ratios of ladder / ladder+stale runs against the fixed-step baseline)
+ADAPTIVE_HISTORY_PATH = (Path(__file__).resolve().parents[3]
+                         / "benchmarks" / "history" / "adaptive_history.jsonl")
 
 #: gate only once this many runs of the same mode are on record
 DEFAULT_MIN_HISTORY = 3

@@ -202,6 +202,77 @@ class TestCachePrimitives:
         assert stats.num_factorizations == 1 and stats.num_reused == 0
 
 
+class TestMultiRungMemoization:
+    """Per-rung LU memoization: the LRU keyed by ``("method", h)`` keeps
+    one factorization per ladder rung so oscillating controllers rehit."""
+
+    def _mna(self):
+        return linear_circuit().build()
+
+    def test_capacity_follows_lu_cache_entries(self):
+        mna = self._mna()
+        cache = LinearizationCache(mna, SimOptions(lu_cache_entries=3))
+        for i in range(10):
+            cache.lu(("benr", float(i + 1)), mna.G_lin)
+        assert len(cache._lus) == 3
+
+    def test_rehit_after_oscillation_across_rungs(self):
+        """grow / shrink / grow between two rungs: after the first visit
+        to each rung every further request is a counted reuse."""
+        mna = self._mna()
+        cache = LinearizationCache(mna, SimOptions())
+        stats = LUStats()
+        h_lo, h_hi = 2e-12, 4e-12
+        for h in (h_lo, h_hi, h_lo, h_hi, h_lo):
+            cache.lu(("benr", h), mna.G_lin, stats=stats)
+        assert stats.num_factorizations == 2
+        assert stats.num_reused == 3
+
+    def test_eviction_is_least_recently_used(self):
+        mna = self._mna()
+        cache = LinearizationCache(mna, SimOptions(lu_cache_entries=2))
+        stats = LUStats()
+        cache.lu(("benr", 1.0), mna.G_lin, stats=stats)
+        cache.lu(("benr", 2.0), mna.G_lin, stats=stats)
+        cache.lu(("benr", 1.0), mna.G_lin, stats=stats)  # refresh rung 1
+        cache.lu(("benr", 3.0), mna.G_lin, stats=stats)  # evicts rung 2
+        assert stats.num_factorizations == 3
+        cache.lu(("benr", 1.0), mna.G_lin, stats=stats)  # still cached
+        assert stats.num_reused == 2
+        cache.lu(("benr", 2.0), mna.G_lin, stats=stats)  # was evicted
+        assert stats.num_factorizations == 4
+
+    def test_invalidate_clears_every_rung(self):
+        mna = self._mna()
+        cache = LinearizationCache(mna, SimOptions())
+        for h in (1.0, 2.0, 3.0):
+            cache.lu(("benr", h), mna.G_lin)
+        cache.invalidate()
+        assert not cache._lus
+        stats = LUStats()
+        for h in (1.0, 2.0, 3.0):
+            cache.lu(("benr", h), mna.G_lin, stats=stats)
+        assert stats.num_factorizations == 3 and stats.num_reused == 0
+
+    @pytest.mark.parametrize("method", ["benr", "trap", "gear2"])
+    def test_small_capacity_is_bit_identical(self, method):
+        """``lu_cache_entries`` changes work, never results: a 2-entry
+        cache (heavy eviction) reproduces the default run bit-for-bit."""
+        ckt = linear_circuit()
+        r_default = run(ckt, method, cached=True)
+        r_small = run(ckt, method, cached=True, lu_cache_entries=2)
+        assert r_default.times == r_small.times
+        np.testing.assert_array_equal(r_default.state_array,
+                                      r_small.state_array)
+
+    def test_default_knobs_do_not_touch_new_counters(self):
+        result = run(linear_circuit(), "benr", cached=True)
+        assert result.stats.lu.num_stale_reuses == 0
+        assert result.stats.lu.num_refinement_fallbacks == 0
+        assert result.stats.num_ladder_steps == 0
+        assert result.stats.num_ladder_holds == 0
+
+
 class TestMultipleRuns:
     def test_second_run_reuses_factorization_with_identical_states(self):
         """A persistent simulator reuses the cached LU across run() calls;

@@ -83,6 +83,7 @@ class TestStats:
             "num_factorizations", "num_solves", "factor_time", "solve_time",
             "peak_factor_nnz", "total_factor_nnz", "num_reused", "num_bypassed",
             "num_orderings", "num_symbolic_reuses",
+            "num_stale_reuses", "num_refinement_fallbacks",
         }
 
     def test_empty_stats(self):

@@ -1,0 +1,228 @@
+"""Tests for cross-``h`` stale-factorization reuse (RefinedLU + cache).
+
+Contract under test:
+
+* **exact solves** -- a :class:`RefinedLU` refines stale-factor guesses
+  against the exact operator until the relative residual is below
+  ``rtol``, so its answers match a fresh factorization to solver
+  tolerance, while ``num_solves`` counts one logical solve per call;
+* **counted fallback** -- when refinement stalls, the wrapper charges
+  ``num_refinement_fallbacks``, factorizes for real and delegates, so
+  results are never silently inexact and ``#LU`` stays honest;
+* **cache policy** -- :class:`LinearizationCache` hands out stale
+  factors only on linear circuits, only with ``h_bypass_tol > 0``, only
+  for keys whose float components drift within the tolerance;
+* **end to end** -- an LTE-drifting run with the bypass on saves real
+  factorizations, satisfies the extended accounting identity and stays
+  within the verification band of the exact run.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.benchcircuits.rc_networks import rc_mesh
+from repro.circuit.sources import SIN
+from repro.core.options import SimOptions
+from repro.core.simulator import TransientSimulator
+from repro.core.workspace import LinearizationCache
+from repro.linalg.sparse_lu import LUStats, RefinedLU, SparseLU, factorize
+from repro.verify.invariants import check_adaptive_reuse_accounting
+from repro.verify.oracles import DEFAULT_METHOD_BANDS
+
+
+def operator(n, h, seed=0):
+    """A well-conditioned stand-in for ``C/h + G`` at step size ``h``."""
+    rng = np.random.default_rng(seed)
+    diag = rng.uniform(1.0, 2.0, size=n)
+    C = sp.diags(diag, format="csc")
+    G = sp.diags([np.full(n - 1, -0.3), np.full(n, 1.0),
+                  np.full(n - 1, -0.3)], [-1, 0, 1], format="csc")
+    return (C / h + G).tocsc()
+
+
+class TestRefinedLU:
+    def setup_method(self):
+        self.n = 40
+        self.h_old = 1.0e-12
+        self.h_new = 1.04e-12  # 4% drift
+        self.stale = factorize(operator(self.n, self.h_old))
+        self.exact = operator(self.n, self.h_new)
+        self.rng = np.random.default_rng(1)
+
+    def test_refined_solve_matches_fresh_factorization(self):
+        stats = LUStats()
+        refined = RefinedLU(self.stale, self.exact, stats, rtol=1e-12)
+        b = self.rng.standard_normal(self.n)
+        x = refined.solve(b)
+        x_direct = factorize(self.exact).solve(b)
+        np.testing.assert_allclose(x, x_direct, rtol=0, atol=1e-10)
+        assert not refined.fell_back
+
+    def test_one_logical_solve_per_call(self):
+        stats = LUStats()
+        refined = RefinedLU(self.stale, self.exact, stats, rtol=1e-12)
+        for k in range(3):
+            refined.solve(self.rng.standard_normal(self.n))
+        # refinement sweeps are internal: 3 calls = 3 counted solves,
+        # no factorizations, no fallbacks
+        assert stats.num_solves == 3
+        assert stats.num_factorizations == 0
+        assert stats.num_refinement_fallbacks == 0
+
+    def test_solve_many_counts_one_solve_per_column(self):
+        stats = LUStats()
+        refined = RefinedLU(self.stale, self.exact, stats, rtol=1e-12)
+        B = self.rng.standard_normal((self.n, 4))
+        X = refined.solve_many(B)
+        np.testing.assert_allclose(
+            self.exact @ X, B, rtol=0, atol=1e-9)
+        assert stats.num_solves == 4
+
+    def test_stalled_refinement_falls_back_and_counts(self):
+        """A drift far past the design tolerance with a refinement budget
+        of 1 cannot converge: the wrapper must charge exactly one counted
+        fallback, factorize for real and still return the exact answer."""
+        stats = LUStats()
+        far = operator(self.n, 3.0 * self.h_old)
+
+        def fallback():
+            return factorize(far, stats=stats)
+
+        refined = RefinedLU(self.stale, far, stats, rtol=1e-14,
+                            max_refinements=1, fallback=fallback)
+        b = self.rng.standard_normal(self.n)
+        x = refined.solve(b)
+        np.testing.assert_allclose(far @ x, b, rtol=0, atol=1e-9)
+        assert refined.fell_back
+        assert stats.num_refinement_fallbacks == 1
+        assert stats.num_factorizations == 1
+        assert stats.num_solves == 1
+        # later solves go straight to the fresh factors: no second fallback
+        refined.solve(self.rng.standard_normal(self.n))
+        assert stats.num_refinement_fallbacks == 1
+        assert stats.num_solves == 2
+
+    def test_stall_without_fallback_raises(self):
+        refined = RefinedLU(self.stale, operator(self.n, 5.0 * self.h_old),
+                            LUStats(), rtol=1e-14, max_refinements=1)
+        with pytest.raises(np.linalg.LinAlgError):
+            refined.solve(self.rng.standard_normal(self.n))
+
+
+def linear_mna():
+    return rc_mesh(rows=4, cols=4, coupling_fraction=0.5).build()
+
+
+class TestCacheStalePolicy:
+    def test_stale_handout_within_tolerance(self):
+        mna = linear_mna()
+        cache = LinearizationCache(mna, SimOptions(h_bypass_tol=0.05))
+        stats = LUStats()
+        h1, h2 = 1.0e-12, 1.04e-12
+        lu1 = cache.lu(("benr", h1), operator(mna.n, h1), stats=stats)
+        lu2 = cache.lu(("benr", h2), operator(mna.n, h2), stats=stats)
+        assert isinstance(lu1, SparseLU)
+        assert isinstance(lu2, RefinedLU)
+        assert stats.num_factorizations == 1
+        assert stats.num_stale_reuses == 1
+
+    def test_no_stale_handout_with_tolerance_zero(self):
+        mna = linear_mna()
+        cache = LinearizationCache(mna, SimOptions())
+        stats = LUStats()
+        h1, h2 = 1.0e-12, 1.04e-12
+        cache.lu(("benr", h1), operator(mna.n, h1), stats=stats)
+        lu2 = cache.lu(("benr", h2), operator(mna.n, h2), stats=stats)
+        assert isinstance(lu2, SparseLU)
+        assert stats.num_factorizations == 2
+        assert stats.num_stale_reuses == 0
+
+    def test_drift_beyond_tolerance_refactorizes(self):
+        mna = linear_mna()
+        cache = LinearizationCache(mna, SimOptions(h_bypass_tol=0.05))
+        stats = LUStats()
+        h1, h2 = 1.0e-12, 1.2e-12  # 20% drift > 5% tolerance
+        cache.lu(("benr", h1), operator(mna.n, h1), stats=stats)
+        lu2 = cache.lu(("benr", h2), operator(mna.n, h2), stats=stats)
+        assert isinstance(lu2, SparseLU)
+        assert stats.num_factorizations == 2
+        assert stats.num_stale_reuses == 0
+
+    def test_non_float_key_components_must_match(self):
+        """A TR factorization is never a stale candidate for a BENR key,
+        however close the step sizes are."""
+        mna = linear_mna()
+        cache = LinearizationCache(mna, SimOptions(h_bypass_tol=0.05))
+        stats = LUStats()
+        h = 1.0e-12
+        cache.lu(("tr", h), operator(mna.n, h), stats=stats)
+        lu = cache.lu(("benr", 1.01 * h), operator(mna.n, 1.01 * h),
+                      stats=stats)
+        assert isinstance(lu, SparseLU)
+        assert stats.num_stale_reuses == 0
+
+    def test_nearest_candidate_wins(self):
+        mna = linear_mna()
+        cache = LinearizationCache(mna, SimOptions(h_bypass_tol=0.05))
+        # h_near is >5% from h_far so it factorizes for real (and enters
+        # the LRU); h_new then drifts within 5% of h_near only
+        h_far, h_near, h_new = 1.00e-12, 1.30e-12, 1.33e-12
+        cache.lu(("benr", h_far), operator(mna.n, h_far))
+        near = cache.lu(("benr", h_near), operator(mna.n, h_near))
+        stats = LUStats()
+        refined = cache.lu(("benr", h_new), operator(mna.n, h_new),
+                           stats=stats)
+        assert isinstance(refined, RefinedLU)
+        assert refined._stale is near
+
+    def test_refined_lu_never_enters_the_cache(self):
+        """Stale handouts are per-request wrappers: the LRU must keep only
+        real factorizations, else refinement chains would compound."""
+        mna = linear_mna()
+        cache = LinearizationCache(mna, SimOptions(h_bypass_tol=0.05))
+        h1, h2 = 1.0e-12, 1.04e-12
+        cache.lu(("benr", h1), operator(mna.n, h1))
+        cache.lu(("benr", h2), operator(mna.n, h2))
+        assert all(isinstance(lu, SparseLU)
+                   for _, lu in cache._lus.values())
+
+
+def run_sine(method, **overrides):
+    kwargs = dict(t_stop=1e-9, h_init=2e-12, h_max=3.2e-11,
+                  lte_reltol=2e-4, store_states=True)
+    kwargs.update(overrides)
+    circuit = rc_mesh(rows=4, cols=4, coupling_fraction=0.5,
+                      drive=SIN(0.5, 0.5, 1e9))
+    sim = TransientSimulator(circuit, method=method,
+                            options=SimOptions(**kwargs))
+    sim.run_dc()
+    result = sim.run()
+    assert result.stats.completed, result.stats.failure_reason
+    return result
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("method", ["benr", "trap"])
+    def test_stale_reuse_saves_factorizations_in_band(self, method):
+        """The sine drive has no breakpoints: the controller's LTE drift
+        alone forces near-per-step refactorization, which the 5% bypass
+        absorbs.  Savings are counted, the accounting identity holds and
+        the trajectory stays inside the verification band."""
+        exact = run_sine(method)
+        reuse = run_sine(method, h_bypass_tol=0.05)
+        assert reuse.stats.lu.num_stale_reuses > 0
+        assert (reuse.stats.lu.num_factorizations
+                < exact.stats.lu.num_factorizations)
+        assert check_adaptive_reuse_accounting(reuse) == []
+        grid = np.union1d(exact.time_array, reuse.time_array)
+        band = 2.0 * DEFAULT_METHOD_BANDS[method]
+        for col in range(exact.state_array.shape[1]):
+            a = np.interp(grid, exact.time_array, exact.state_array[:, col])
+            b = np.interp(grid, reuse.time_array, reuse.state_array[:, col])
+            assert float(np.max(np.abs(a - b))) <= band
+
+    def test_fallbacks_never_exceed_stale_reuses(self):
+        reuse = run_sine("benr", h_bypass_tol=0.05)
+        lu = reuse.stats.lu
+        assert lu.num_refinement_fallbacks <= lu.num_stale_reuses

@@ -21,17 +21,23 @@ JSON over HTTP, so curl or any language works just as well.
 
 import argparse
 import json
+import os
 import sys
 import urllib.error
 import urllib.request
+
+#: Authorization header sent with every request; set by main() when a
+#: token is configured (--token or $REPRO_SERVICE_TOKEN)
+AUTH_HEADERS = {}
 
 
 def http(url, body=None, timeout=300.0):
     """One JSON request/response round trip."""
     data = json.dumps(body).encode("utf-8") if body is not None else None
-    request = urllib.request.Request(
-        url, data=data,
-        headers={"Content-Type": "application/json"} if data else {})
+    headers = dict(AUTH_HEADERS)
+    if data:
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
             return json.loads(response.read())
@@ -64,8 +70,14 @@ def main() -> int:
                         help="service base URL")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny campaign for CI smoke testing")
+    parser.add_argument("--token", default=None,
+                        help="bearer token for a service running with "
+                             "--auth-token (default: $REPRO_SERVICE_TOKEN)")
     args = parser.parse_args()
     url = args.url.rstrip("/")
+    token = args.token or os.environ.get("REPRO_SERVICE_TOKEN")
+    if token:
+        AUTH_HEADERS["Authorization"] = f"Bearer {token}"
 
     body = build_campaign(args.smoke)
     print(f"submitting {len(body['scenarios'])} scenarios to {url} ...")
@@ -76,8 +88,9 @@ def main() -> int:
           f"{submitted['cached']} answered from cache")
 
     # stream progress: one JSON line per scenario as its result lands
-    with urllib.request.urlopen(url + submitted["stream_url"],
-                                timeout=1800.0) as stream:
+    stream_request = urllib.request.Request(
+        url + submitted["stream_url"], headers=dict(AUTH_HEADERS))
+    with urllib.request.urlopen(stream_request, timeout=1800.0) as stream:
         for line in stream:
             event = json.loads(line)
             if event["event"] == "result":

@@ -50,8 +50,22 @@ from repro.campaign.backends.base import (
 from repro.campaign.backends.local import _TM_DISPATCHES, default_workers
 from repro.campaign.cache import context_hash
 from repro.campaign.scenario import scenario_hash
+from repro.wire import JobContext, encode
 
-__all__ = ["QueueBackend", "job_id_for"]
+__all__ = ["QueueBackend", "job_id_for", "wire_context"]
+
+
+def wire_context(context: ExecutionContext) -> Dict[str, object]:
+    """Encode an execution context as its typed ``job_context`` message.
+
+    Every job enqueued by a campaign or the front end carries this
+    validated form; workers decode it back through the same schema
+    (:func:`repro.wire.decode_job_context`), which also still accepts
+    the pre-wire plain ``to_dict()`` payloads of older producers.
+    """
+    return encode(JobContext(base_options=context.base_options,
+                             timeout=context.timeout,
+                             sample_points=context.sample_points))
 
 
 def job_id_for(payload: Dict[str, object], context: ExecutionContext) -> str:
@@ -122,7 +136,7 @@ class QueueBackend(ExecutionBackend):
             tmp_root = Path(tempfile.mkdtemp(prefix="repro-queue-"))
         broker = self._resolve_broker(tmp_root)
         self._broker_path = str(broker.path)
-        context_data = context.to_dict()
+        context_data = wire_context(context)
         payload_by_index = {index: payload for index, payload in items}
 
         #: job id -> plan indices it answers (identical content coalesces)

@@ -18,7 +18,9 @@ Protocol (version 1)
     coordinator -> worker   {"type": "shutdown"}
 
 The campaign-wide :class:`ExecutionContext` travels once, in the
-handshake; tasks carry only the scenario payload.
+handshake; tasks carry only the scenario payload.  Every message is a
+:mod:`repro.wire` typed schema (validated on receipt, unknown fields
+tolerated), so mixed-version coordinators and workers interoperate.
 
 Fault model
 -----------
@@ -62,6 +64,7 @@ from repro.campaign.backends.base import (
 )
 from repro.campaign.backends.local import _TM_DISPATCHES, default_workers
 from repro.telemetry import metrics as telemetry
+from repro import wire
 
 __all__ = ["SocketBackend", "send_message", "recv_message", "PROTOCOL_VERSION"]
 
@@ -194,14 +197,18 @@ class SocketBackend(ExecutionBackend):
             in_flight: Optional[int] = None
             try:
                 conn.settimeout(self.heartbeat_timeout)
-                hello = recv_message(conn)
-                if hello.get("type") != "hello" or \
-                        hello.get("protocol") != PROTOCOL_VERSION:
-                    send_message(conn, {"type": "error",
-                                        "error": "protocol mismatch"})
+                try:
+                    hello = wire.decode(recv_message(conn), expect=wire.Hello)
+                except wire.WireError as exc:
+                    send_message(conn, wire.encode(wire.ProtocolError(
+                        error=f"malformed hello: {exc}")))
                     return
-                send_message(conn, {"type": "welcome",
-                                    "context": context.to_dict()})
+                if hello.protocol != PROTOCOL_VERSION:
+                    send_message(conn, wire.encode(wire.ProtocolError(
+                        error="protocol mismatch")))
+                    return
+                send_message(conn, wire.encode(wire.Welcome(
+                    context=context.to_dict())))
                 while True:
                     with work_ready:
                         while not queue and len(delivered) < total \
@@ -214,23 +221,22 @@ class SocketBackend(ExecutionBackend):
                         attempts[index] += 1
                     in_flight = index
                     _TM_DISPATCHES.labels(self.name).inc()
-                    send_message(conn, {
-                        "type": "task", "index": index,
-                        "scenario": payload_by_index[index],
-                    })
+                    send_message(conn, wire.encode(wire.Task(
+                        index=index, scenario=payload_by_index[index])))
                     while True:
-                        message = recv_message(conn)
-                        kind = message.get("type")
-                        if kind == "ping":
+                        message = wire.decode(recv_message(conn))
+                        if isinstance(message, wire.Ping):
                             continue
-                        if kind == "result" and message.get("index") == index:
-                            _deliver(index, dict(message["outcome"]))
+                        if isinstance(message, wire.TaskResult) and \
+                                message.index == index:
+                            _deliver(index, dict(message.outcome))
                             in_flight = None
                             break
                         raise ConnectionError(
-                            f"unexpected message {kind!r} from worker {peer}")
+                            f"unexpected message {type(message).TYPE!r} "
+                            f"from worker {peer}")
                 try:
-                    send_message(conn, {"type": "shutdown"})
+                    send_message(conn, wire.encode(wire.Shutdown()))
                 except OSError:
                     pass
             except (ConnectionError, socket.timeout, OSError, ValueError) as exc:

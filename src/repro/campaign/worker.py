@@ -30,6 +30,7 @@ import threading
 import time
 from typing import Optional
 
+from repro import wire
 from repro.campaign.backends.base import ExecutionContext
 from repro.campaign.backends.tcp import (
     PROTOCOL_VERSION,
@@ -94,27 +95,28 @@ def serve(host: str, port: int, heartbeat_interval: float = 1.0,
             if not busy.is_set():
                 continue
             try:
-                send_message(sock, {"type": "ping"}, lock=write_lock)
+                send_message(sock, wire.encode(wire.Ping()), lock=write_lock)
             except OSError:
                 return
 
     pinger = threading.Thread(target=_heartbeat, daemon=True)
     try:
-        send_message(sock, {"type": "hello", "pid": os.getpid(),
-                            "protocol": PROTOCOL_VERSION}, lock=write_lock)
-        welcome = recv_message(sock)
-        if welcome.get("type") != "welcome":
-            print(f"worker: handshake rejected: {welcome}", file=sys.stderr)
+        send_message(sock, wire.encode(wire.Hello(
+            pid=os.getpid(), protocol=PROTOCOL_VERSION)), lock=write_lock)
+        try:
+            welcome = wire.decode(recv_message(sock), expect=wire.Welcome)
+        except wire.WireError as exc:
+            print(f"worker: handshake rejected: {exc}", file=sys.stderr)
             return 1
-        context = ExecutionContext.from_dict(welcome.get("context", {}))
+        context = ExecutionContext.from_dict(welcome.context)
         pinger.start()
         while True:
-            message = recv_message(sock)
-            kind = message.get("type")
-            if kind == "shutdown":
+            message = wire.decode(recv_message(sock))
+            if isinstance(message, wire.Shutdown):
                 return 0
-            if kind != "task":
-                print(f"worker: unexpected message {kind!r}", file=sys.stderr)
+            if not isinstance(message, wire.Task):
+                print(f"worker: unexpected message "
+                      f"{type(message).TYPE!r}", file=sys.stderr)
                 return 1
             busy.set()
             try:
@@ -123,25 +125,24 @@ def serve(host: str, port: int, heartbeat_interval: float = 1.0,
                     # worker-side result cache: answer warm scenarios
                     # from the shared directory, skipping the simulation
                     outcome = cache.get(
-                        Scenario.from_dict(message["scenario"]),
+                        Scenario.from_dict(message.scenario),
                         context_hash(context.base_options,
                                      context.sample_points))
                 if outcome is None:
                     outcome = execute_scenario(
-                        message["scenario"], context.base_options,
+                        message.scenario, context.base_options,
                         context.timeout, context.sample_points,
                     )
                     if cache is not None:
-                        cache.put(Scenario.from_dict(message["scenario"]),
+                        cache.put(Scenario.from_dict(message.scenario),
                                   context_hash(context.base_options,
                                                context.sample_points),
                                   outcome)
             finally:
                 busy.clear()
-            send_message(sock, {"type": "result",
-                                "index": message["index"],
-                                "outcome": outcome}, lock=write_lock)
-    except (ConnectionError, OSError) as exc:
+            send_message(sock, wire.encode(wire.TaskResult(
+                index=message.index, outcome=outcome)), lock=write_lock)
+    except (ConnectionError, OSError, wire.WireError) as exc:
         print(f"worker: connection lost: {exc}", file=sys.stderr)
         return 1
     finally:

@@ -1,0 +1,16 @@
+"""Self-scaling worker-fleet supervisor.
+
+``python -m repro.fleet --data DIR`` runs a control loop over the
+broker's already-exported signals (ready-queue depth, worker heartbeat
+snapshots) and owns the worker lifecycle the service has so far left to
+humans and ad-hoc CI scripts: scale up under backlog, retire surplus
+workers gracefully, restart crashes with exponential backoff behind a
+crash-loop circuit breaker, and reap zombies whose heartbeats went
+stale.  See :mod:`repro.fleet.policy` for the pure scaling decision and
+:mod:`repro.fleet.supervisor` for the process-owning loop around it.
+"""
+
+from repro.fleet.policy import Decision, FleetObservation, FleetPolicy
+from repro.fleet.supervisor import FleetSupervisor
+
+__all__ = ["Decision", "FleetObservation", "FleetPolicy", "FleetSupervisor"]

@@ -21,19 +21,31 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import urllib.error
 import urllib.request
 from typing import Dict, Optional
 
+#: environment fallback for every token option below, so CI jobs and
+#: cron scripts do not have to put secrets on command lines
+TOKEN_ENV = "REPRO_SERVICE_TOKEN"
+
+
+def _resolve_token(token: Optional[str]) -> Optional[str]:
+    return token if token is not None else os.environ.get(TOKEN_ENV)
+
 
 def _http_json(url: str, body: Optional[Dict[str, object]] = None,
-               timeout: float = 30.0) -> Dict[str, object]:
+               timeout: float = 30.0,
+               token: Optional[str] = None) -> Dict[str, object]:
     """One JSON request/response round trip (errors become SystemExit)."""
     data = json.dumps(body).encode("utf-8") if body is not None else None
+    headers = {"Content-Type": "application/json"} if data else {}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
     request = urllib.request.Request(
-        url, data=data,
-        headers={"Content-Type": "application/json"} if data else {},
+        url, data=data, headers=headers,
         method="POST" if data is not None else "GET",
     )
     try:
@@ -66,6 +78,10 @@ def cmd_serve(argv) -> int:
     parser.add_argument("--max-queue-depth", type=int, default=None,
                         help="reject submissions with 429 + Retry-After "
                              "while this many jobs are already queued")
+    parser.add_argument("--auth-token", default=None, metavar="TOKEN",
+                        help="require 'Authorization: Bearer TOKEN' on every "
+                             "route except /healthz and /metrics "
+                             f"(default: ${TOKEN_ENV} if set)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
     args = parser.parse_args(argv)
@@ -76,15 +92,18 @@ def cmd_serve(argv) -> int:
     )
     from repro.service.server import ServiceServer
 
+    token = _resolve_token(args.auth_token)
     server = ServiceServer(data_dir=args.data, host=args.host, port=args.port,
-                           max_queue_depth=args.max_queue_depth)
+                           max_queue_depth=args.max_queue_depth,
+                           auth_token=token)
     server.httpd.RequestHandlerClass.verbose = args.verbose
     processes = [
         spawn_module_worker("repro.service.worker", ["--data", args.data])
         for _ in range(max(0, args.workers))
     ]
     print(f"repro.service listening on {server.url} (data: {args.data}, "
-          f"{len(processes)} local workers)", file=sys.stderr)
+          f"{len(processes)} local workers"
+          f"{', bearer auth on' if token else ''})", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -107,11 +126,14 @@ def cmd_worker(argv) -> int:
 # -- submit ----------------------------------------------------------------------------
 
 
-def _wait_for_result(url: str, job_id: str, poll: float) -> Dict[str, object]:
+def _wait_for_result(url: str, job_id: str, poll: float,
+                     token: Optional[str] = None) -> Dict[str, object]:
     import time
 
+    headers = {"Authorization": f"Bearer {token}"} if token else {}
     while True:
-        request = urllib.request.Request(f"{url}/jobs/{job_id}/result")
+        request = urllib.request.Request(f"{url}/jobs/{job_id}/result",
+                                         headers=headers)
         try:
             with urllib.request.urlopen(request, timeout=30.0) as response:
                 if response.status == 200:
@@ -140,16 +162,20 @@ def cmd_submit(argv) -> int:
     parser.add_argument("--options", default="{}",
                         help="scenario option overrides (JSON object)")
     parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument("--token", default=None,
+                        help="bearer token for a server running with "
+                             f"--auth-token (default: ${TOKEN_ENV} if set)")
     parser.add_argument("--wait", action="store_true",
                         help="poll until the result is ready and print it")
     parser.add_argument("--poll", type=float, default=0.5)
     args = parser.parse_args(argv)
+    token = _resolve_token(args.token)
 
     if args.file:
         with open(args.file, "r", encoding="utf-8") as handle:
             body = json.load(handle)
         body.setdefault("priority", args.priority)
-        document = _http_json(f"{args.url}/campaigns", body)
+        document = _http_json(f"{args.url}/campaigns", body, token=token)
         print(json.dumps(document, indent=2))
         return 0
 
@@ -163,10 +189,12 @@ def cmd_submit(argv) -> int:
         "options": json.loads(args.options),
     }
     document = _http_json(f"{args.url}/scenarios",
-                          {"scenario": scenario, "priority": args.priority})
+                          {"scenario": scenario, "priority": args.priority},
+                          token=token)
     print(json.dumps(document, indent=2))
     if args.wait and "result" not in document:
-        result = _wait_for_result(args.url, document["job_id"], args.poll)
+        result = _wait_for_result(args.url, document["job_id"], args.poll,
+                                  token=token)
         print(json.dumps(result, indent=2))
     return 0
 
@@ -245,11 +273,14 @@ def cmd_status(argv) -> int:
         prog="python -m repro.service status",
         description="Print the service /stats snapshot (and render a table).")
     parser.add_argument("--url", default="http://127.0.0.1:8080")
+    parser.add_argument("--token", default=None,
+                        help="bearer token for a server running with "
+                             f"--auth-token (default: ${TOKEN_ENV} if set)")
     parser.add_argument("--json", action="store_true",
                         help="raw JSON instead of the rendered table")
     args = parser.parse_args(argv)
 
-    stats = _http_json(f"{args.url}/stats")
+    stats = _http_json(f"{args.url}/stats", token=_resolve_token(args.token))
     if args.json:
         print(json.dumps(stats, indent=2))
         return 0

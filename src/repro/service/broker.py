@@ -120,6 +120,12 @@ CREATE TABLE IF NOT EXISTS worker_metrics (
     snapshot TEXT NOT NULL,
     updated_at REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS campaigns (
+    id TEXT PRIMARY KEY,
+    record TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS campaigns_recency ON campaigns (created_at);
 """
 
 
@@ -510,6 +516,95 @@ class JobBroker:
                 }
         return out
 
+    # -- campaign records --------------------------------------------------------------
+
+    def put_campaign(self, campaign_id: str, record: Dict[str, object],
+                     keep: Optional[int] = None) -> None:
+        """Persist one campaign record (idempotent upsert).
+
+        Campaign records used to live only in front-end memory; storing
+        the (wire-encoded) record in the broker makes ``GET
+        /campaigns/<id>`` and its stream survive front-end restarts.
+        ``keep`` bounds the table to the newest N records, so an
+        always-on deployment does not grow without bound.
+        """
+        created = float(record.get("created_at") or time.time())
+        with self._txn() as conn:
+            conn.execute(
+                "INSERT INTO campaigns (id, record, created_at)"
+                " VALUES (?, ?, ?) ON CONFLICT(id) DO UPDATE SET"
+                " record=excluded.record, created_at=excluded.created_at",
+                (campaign_id, json.dumps(record, default=repr), created))
+            if keep is not None:
+                conn.execute(
+                    "DELETE FROM campaigns WHERE id NOT IN"
+                    " (SELECT id FROM campaigns ORDER BY created_at DESC,"
+                    " rowid DESC LIMIT ?)", (max(0, int(keep)),))
+
+    def get_campaign(self, campaign_id: str) -> Optional[Dict[str, object]]:
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT record FROM campaigns WHERE id = ?",
+                (campaign_id,)).fetchone()
+            return json.loads(row["record"]) if row is not None else None
+
+    def campaigns(self, limit: Optional[int] = None) \
+            -> "list[Dict[str, object]]":
+        """Stored campaign records, newest first."""
+        query = ("SELECT record FROM campaigns"
+                 " ORDER BY created_at DESC, rowid DESC")
+        args: tuple = ()
+        if limit is not None:
+            query += " LIMIT ?"
+            args = (int(limit),)
+        with self._conn() as conn:
+            return [json.loads(row["record"])
+                    for row in conn.execute(query, args)]
+
+    def count_campaigns(self) -> int:
+        with self._conn() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) AS n FROM campaigns").fetchone()["n"]
+
+    # -- fleet supervisor state --------------------------------------------------------
+
+    def put_supervisor_state(self, state: Dict[str, object]) -> None:
+        """Store the fleet supervisor's latest control-loop state.
+
+        One row in ``meta`` -- the supervisor overwrites it every tick;
+        the front end surfaces it as ``/stats["fleet"]`` and derives the
+        ``repro_fleet_supervisor_*`` metric families from it.
+        """
+        doc = dict(state)
+        doc.setdefault("updated_at", time.time())
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('supervisor_state', ?)"
+                " ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (json.dumps(doc, default=repr),))
+
+    def supervisor_state(self, max_age: Optional[float] = None) \
+            -> Optional[Dict[str, object]]:
+        """The last published supervisor state, or ``None``.
+
+        ``max_age`` treats a state older than that many seconds as
+        departed (a dead supervisor should not masquerade as live).
+        """
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'supervisor_state'"
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            doc = json.loads(row["value"])
+        except ValueError:
+            return None
+        if max_age is not None and \
+                time.time() - float(doc.get("updated_at", 0.0)) > max_age:
+            return None
+        return doc
+
     # -- retention ---------------------------------------------------------------------
 
     def gc(self, max_age: Optional[float] = None,
@@ -537,6 +632,7 @@ class JobBroker:
         bytes_before = self.path.stat().st_size if self.path.exists() else 0
         terminal = "status IN ('done', 'failed')"
         deleted_by_age = deleted_by_count = deleted_snapshots = 0
+        deleted_campaigns = 0
         with self._txn() as conn:
             if max_age is not None:
                 clause = (f"{terminal} AND finished_at IS NOT NULL"
@@ -571,6 +667,17 @@ class JobBroker:
                 deleted_snapshots = conn.execute(
                     f"DELETE FROM worker_metrics WHERE {snap_clause}",
                     snap_args).rowcount
+            if max_age is not None:
+                # campaign records age out with the jobs they referenced
+                camp_args = (now - float(max_age),)
+                if dry_run:
+                    deleted_campaigns = conn.execute(
+                        "SELECT COUNT(*) AS n FROM campaigns"
+                        " WHERE created_at < ?", camp_args).fetchone()["n"]
+                else:
+                    deleted_campaigns = conn.execute(
+                        "DELETE FROM campaigns WHERE created_at < ?",
+                        camp_args).rowcount
             remaining = conn.execute(
                 "SELECT COUNT(*) AS n FROM jobs").fetchone()["n"]
         deleted_jobs = deleted_by_age + deleted_by_count
@@ -589,6 +696,7 @@ class JobBroker:
             "deleted_by_count": deleted_by_count,
             "deleted_jobs": deleted_jobs,
             "deleted_worker_snapshots": deleted_snapshots,
+            "deleted_campaigns": deleted_campaigns,
             "remaining_jobs": remaining,
             "vacuumed": vacuumed,
             "bytes_before": bytes_before,

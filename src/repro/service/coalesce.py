@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.campaign.backends.base import ExecutionContext
-from repro.campaign.backends.queue import job_id_for
+from repro.campaign.backends.queue import job_id_for, wire_context
 from repro.campaign.cache import ResultCache
 from repro.service.broker import JobBroker
 from repro.telemetry import metrics as telemetry
@@ -88,7 +88,7 @@ class Coalescer:
                 self.broker.incr("cache_answers")
                 _TM_ADMISSIONS.labels("cache").inc()
                 return Admission(key, "done", "cache", result=entry)
-        job = self.broker.enqueue(payload, context=context.to_dict(),
+        job = self.broker.enqueue(payload, context=wire_context(context),
                                   priority=priority, job_id=key)
         if job.fresh:
             self.broker.incr("admitted")

@@ -45,6 +45,7 @@ client learns to back off instead of timing out.
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
 import time
@@ -53,6 +54,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import wire
 from repro.campaign.backends.base import ExecutionContext
 from repro.campaign.cache import ResultCache
 from repro.campaign.scenario import Scenario
@@ -76,15 +78,22 @@ _TM_REQUESTS = telemetry.counter(
 _TM_BACKPRESSURE = telemetry.counter(
     "repro_server_backpressure_rejections_total",
     "Submissions rejected with 429 because the queue was too deep.")
+_TM_AUTH_FAILURES = telemetry.counter(
+    "repro_server_auth_failures_total",
+    "Requests rejected with 401 (missing or wrong bearer token).")
 
 #: maximum accepted request body (a campaign of thousands of scenarios
 #: fits comfortably; a runaway client does not take the process down)
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
-#: most recent ``POST /campaigns`` records kept in front-end memory
-#: (older ones are evicted FIFO -- the broker remains the durable state,
-#: an always-on server must not grow without bound)
+#: most recent ``POST /campaigns`` records kept in the broker (older
+#: ones are pruned on insert -- an always-on deployment must not grow
+#: the campaigns table without bound)
 MAX_CAMPAIGNS = 1024
+
+#: routes that never require auth: liveness probes and metric scrapers
+#: are infrastructure, not clients
+OPEN_ROUTES = ("healthz", "metrics")
 
 
 class ApiError(Exception):
@@ -110,54 +119,26 @@ def _validate_scenario(data: object) -> Dict[str, object]:
     return scenario.to_dict()
 
 
-def _validate_context(body: Dict[str, object]) -> ExecutionContext:
-    """Parse the campaign-context fields of a submission (400 on failure)."""
-    base_options = body.get("base_options")
+def _decode_submission(body: Dict[str, object],
+                       schema: type) -> wire.WireMessage:
+    """Validate an HTTP body against its wire schema (400 on failure)."""
+    try:
+        return wire.decode(body, expect=schema)
+    except wire.WireError as exc:
+        raise ApiError(400, f"invalid submission: {exc}") from exc
+
+
+def _validate_context(submission: wire.WireMessage) -> ExecutionContext:
+    """Parse a submission's campaign-context fields (400 on failure)."""
+    base_options = submission.base_options
     if base_options is not None:
         try:
             base_options = SimOptions.from_dict(base_options).to_dict()
         except (AttributeError, KeyError, TypeError, ValueError) as exc:
             raise ApiError(400, f"invalid base_options: {exc}") from exc
-    timeout = body.get("timeout")
-    if timeout is not None:
-        try:
-            timeout = float(timeout)
-        except (TypeError, ValueError) as exc:
-            raise ApiError(400, f"invalid timeout: {exc}") from exc
-    try:
-        sample_points = int(body.get("sample_points", 101))
-    except (TypeError, ValueError) as exc:
-        raise ApiError(400, f"invalid sample_points: {exc}") from exc
-    return ExecutionContext(base_options=base_options, timeout=timeout,
-                            sample_points=sample_points)
-
-
-def _validate_priority(body: Dict[str, object]) -> int:
-    try:
-        return int(body.get("priority", 0) or 0)
-    except (TypeError, ValueError) as exc:
-        raise ApiError(400, f"invalid priority: {exc}") from exc
-
-
-class _Campaign:
-    """Server-side record of one ``POST /campaigns`` submission."""
-
-    def __init__(self, campaign_id: str, names: List[str],
-                 job_ids: List[str], decisions: List[str]):
-        self.id = campaign_id
-        self.names = names
-        self.job_ids = job_ids
-        self.decisions = decisions
-        self.created_at = time.time()
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "campaign_id": self.id,
-            "total": len(self.names),
-            "jobs": dict(zip(self.names, self.job_ids)),
-            "decisions": dict(zip(self.names, self.decisions)),
-            "created_at": self.created_at,
-        }
+    return ExecutionContext(base_options=base_options,
+                            timeout=submission.timeout,
+                            sample_points=submission.sample_points)
 
 
 class ServiceServer:
@@ -178,6 +159,7 @@ class ServiceServer:
         port: int = 0,
         poll_interval: float = 0.1,
         max_queue_depth: Optional[int] = None,
+        auth_token: Optional[str] = None,
     ):
         if broker is None:
             if data_dir is None:
@@ -193,9 +175,9 @@ class ServiceServer:
         #: the ready (queued) depth exceeds this bound -- a queue exactly
         #: at the limit still admits (the limit is a capacity, not a fence)
         self.max_queue_depth = max_queue_depth
+        #: shared-secret bearer token; ``None`` disables auth entirely
+        self.auth_token = auth_token
         self.started_at = time.time()
-        self._campaigns: Dict[str, _Campaign] = {}
-        self._campaign_lock = threading.Lock()
 
         service = self
 
@@ -263,9 +245,10 @@ class ServiceServer:
 
     def submit_scenario(self, body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
         self._check_backpressure()
-        payload = _validate_scenario(body.get("scenario"))
-        context = _validate_context(body)
-        priority = _validate_priority(body)
+        submission = _decode_submission(body, wire.ScenarioSubmission)
+        payload = _validate_scenario(submission.scenario)
+        context = _validate_context(submission)
+        priority = int(submission.priority or 0)
         admission = self.coalescer.admit(payload, context, priority=priority)
         document = admission.to_dict()
         document["result_url"] = f"/jobs/{admission.job_id}/result"
@@ -274,35 +257,34 @@ class ServiceServer:
 
     def submit_campaign(self, body: Dict[str, object]) -> Tuple[int, Dict[str, object]]:
         self._check_backpressure()
-        scenarios = body.get("scenarios")
-        if not isinstance(scenarios, list) or not scenarios:
+        submission = _decode_submission(body, wire.CampaignSubmission)
+        if not submission.scenarios:
             raise ApiError(400, "campaign needs a non-empty 'scenarios' list")
-        payloads = [_validate_scenario(s) for s in scenarios]
+        payloads = [_validate_scenario(s) for s in submission.scenarios]
         names = [str(p["name"]) for p in payloads]
         if len(set(names)) != len(names):
             raise ApiError(400, "scenario names within a campaign must be unique")
-        context = _validate_context(body)
-        priority = _validate_priority(body)
+        context = _validate_context(submission)
+        priority = int(submission.priority or 0)
         admissions = [self.coalescer.admit(p, context, priority=priority)
                       for p in payloads]
-        campaign = _Campaign(
+        decisions = [a.decision for a in admissions]
+        record = wire.CampaignRecord(
             campaign_id=uuid.uuid4().hex[:12],
             names=names,
             job_ids=[a.job_id for a in admissions],
-            decisions=[a.decision for a in admissions],
+            decisions=decisions,
+            created_at=time.time(),
         )
-        with self._campaign_lock:
-            self._campaigns[campaign.id] = campaign
-            while len(self._campaigns) > MAX_CAMPAIGNS:
-                self._campaigns.pop(next(iter(self._campaigns)))
-        document = campaign.to_dict()
-        decisions = [a.decision for a in admissions]
+        self.broker.put_campaign(record.campaign_id, wire.encode(record),
+                                 keep=MAX_CAMPAIGNS)
+        document = record.to_status_dict()
         document.update({
             "admitted": decisions.count("admitted"),
             "coalesced": decisions.count("coalesced"),
             "cached": decisions.count("cache"),
-            "status_url": f"/campaigns/{campaign.id}",
-            "stream_url": f"/campaigns/{campaign.id}/stream",
+            "status_url": f"/campaigns/{record.campaign_id}",
+            "stream_url": f"/campaigns/{record.campaign_id}/stream",
         })
         return 202, document
 
@@ -315,7 +297,7 @@ class ServiceServer:
             statuses[name] = str(document.get("status", "unknown"))
             result_statuses[name] = document.get("result_status")
         done = sum(1 for s in statuses.values() if s in ("done", "failed"))
-        out = campaign.to_dict()
+        out = campaign.to_status_dict()
         out.update({
             "done": done,
             "finished": done == len(campaign.names),
@@ -325,15 +307,13 @@ class ServiceServer:
         return out
 
     def campaign_index(self) -> Dict[str, object]:
-        """Lightweight progress of every front-end-tracked campaign.
+        """Lightweight progress of every broker-persisted campaign.
 
         One bulk broker read per campaign (not one per job) -- this is
         the polling surface of the ``repro.watch`` dashboard.
         """
-        with self._campaign_lock:
-            campaigns = list(self._campaigns.values())
         entries: List[Dict[str, object]] = []
-        for campaign in campaigns:
+        for campaign in self._stored_campaigns():
             jobs = self.broker.fetch(campaign.job_ids)
             done = failed = 0
             for job_id in campaign.job_ids:
@@ -346,23 +326,34 @@ class ServiceServer:
                 elif job.status == "failed":
                     failed += 1
             entries.append({
-                "campaign_id": campaign.id,
+                "campaign_id": campaign.campaign_id,
                 "total": len(campaign.names),
                 "done": done + failed,
                 "failed": failed,
                 "finished": done + failed == len(campaign.names),
                 "created_at": campaign.created_at,
-                "status_url": f"/campaigns/{campaign.id}",
+                "status_url": f"/campaigns/{campaign.campaign_id}",
             })
         entries.sort(key=lambda e: e["created_at"], reverse=True)
         return {"campaigns": entries}
 
-    def _campaign(self, campaign_id: str) -> _Campaign:
-        with self._campaign_lock:
-            campaign = self._campaigns.get(campaign_id)
-        if campaign is None:
+    def _stored_campaigns(self) -> List[wire.CampaignRecord]:
+        records: List[wire.CampaignRecord] = []
+        for data in self.broker.campaigns(limit=MAX_CAMPAIGNS):
+            try:
+                records.append(wire.decode(data, expect=wire.CampaignRecord))
+            except wire.WireError:
+                continue  # a corrupt row must not take the index down
+        return records
+
+    def _campaign(self, campaign_id: str) -> wire.CampaignRecord:
+        data = self.broker.get_campaign(campaign_id)
+        if data is None:
             raise ApiError(404, f"unknown campaign {campaign_id!r}")
-        return campaign
+        try:
+            return wire.decode(data, expect=wire.CampaignRecord)
+        except wire.WireError as exc:
+            raise ApiError(500, f"corrupt campaign record: {exc}") from exc
 
     def _worker_view(self) -> Dict[str, Dict[str, object]]:
         """Per-worker state digested from the published snapshots."""
@@ -370,8 +361,12 @@ class ServiceServer:
         workers: Dict[str, Dict[str, object]] = {}
         for worker_id, record in self.broker.worker_metrics(
                 max_age=WORKER_STALE_SECONDS).items():
-            snapshot = record.get("snapshot") or {}
-            metrics = snapshot.get("metrics") or {}
+            try:
+                snapshot = wire.decode(record.get("snapshot") or {},
+                                       expect=wire.WorkerSnapshot)
+            except wire.WireError:
+                continue  # malformed snapshot: not worth a 500 on /stats
+            metrics = snapshot.metrics or {}
 
             def _family_total(name: str) -> float:
                 family = metrics.get(name) or {}
@@ -379,12 +374,12 @@ class ServiceServer:
                            for s in family.get("samples", []))
 
             workers[worker_id] = {
-                "busy": bool(snapshot.get("busy")),
-                "current_job": snapshot.get("current_job"),
-                "pid": snapshot.get("pid"),
-                "started_at": snapshot.get("started_at"),
-                "num_executed": snapshot.get("num_executed", 0),
-                "num_cache_hits": snapshot.get("num_cache_hits", 0),
+                "busy": snapshot.busy,
+                "current_job": snapshot.current_job,
+                "pid": snapshot.pid,
+                "started_at": snapshot.started_at,
+                "num_executed": snapshot.num_executed,
+                "num_cache_hits": snapshot.num_cache_hits,
                 "steps_total": _family_total("repro_integrator_steps_total"),
                 "updated_at": record.get("updated_at"),
                 "heartbeat_age_seconds": now - float(record.get("updated_at", now)),
@@ -398,8 +393,6 @@ class ServiceServer:
         history = history_path_for(self.cache.root) if self.cache is not None \
             else self.broker.history_path
         model = load_history(history)
-        with self._campaign_lock:
-            num_campaigns = len(self._campaigns)
         return {
             "uptime_seconds": time.time() - self.started_at,
             "broker": {"path": str(self.broker.path),
@@ -413,8 +406,10 @@ class ServiceServer:
                 "records": model.num_records,
                 "pairs": model.num_pairs,
             },
-            "campaigns": num_campaigns,
+            "campaigns": self.broker.count_campaigns(),
             "workers": self._worker_view(),
+            "fleet": self.broker.supervisor_state(
+                max_age=WORKER_STALE_SECONDS),
             "backpressure": {
                 "max_queue_depth": self.max_queue_depth,
                 "rejections": self.broker.counters().get(
@@ -454,11 +449,10 @@ class ServiceServer:
             "repro_service_cache_entries", "gauge",
             "Entries in the shared result cache.",
             [({}, len(self.cache) if self.cache else 0)]))
-        with self._campaign_lock:
-            num_campaigns = len(self._campaigns)
         parts.append(prometheus.make_family(
             "repro_service_campaigns", "gauge",
-            "Campaigns tracked by this front end.", [({}, num_campaigns)]))
+            "Campaigns persisted in the broker.",
+            [({}, self.broker.count_campaigns())]))
 
         workers = self.broker.worker_metrics(max_age=WORKER_STALE_SECONDS)
         up_samples, busy_samples, age_samples = [], [], []
@@ -482,7 +476,46 @@ class ServiceServer:
             "repro_fleet_worker_heartbeat_age_seconds", "gauge",
             "Seconds since the worker last published its snapshot.",
             age_samples))
+        parts.extend(self._supervisor_families())
         return prometheus.merge(*parts)
+
+    def _supervisor_families(self) -> List[Dict[str, object]]:
+        """``repro_fleet_supervisor_*`` families from the published state.
+
+        The supervisor runs in its own process; its counters reach the
+        scrape the same way worker registries do -- through the broker.
+        A missing or stale state publishes nothing (absence *is* the
+        signal that no supervisor is attached).
+        """
+        state = self.broker.supervisor_state(max_age=WORKER_STALE_SECONDS)
+        if not state:
+            return []
+        events = [({"event": event}, float(state.get(key, 0)))
+                  for event, key in (("spawn", "spawns"),
+                                     ("retire", "retires"),
+                                     ("crash", "crashes"),
+                                     ("zombie_reaped", "zombies_reaped"))]
+        return [
+            prometheus.make_family(
+                "repro_fleet_supervisor_up", "gauge",
+                "1 while a fleet supervisor is publishing state.",
+                [({}, 1)]),
+            prometheus.make_family(
+                "repro_fleet_supervisor_live_workers", "gauge",
+                "Workers the supervisor currently counts as live.",
+                [({}, float(state.get("live_workers", 0)))]),
+            prometheus.make_family(
+                "repro_fleet_supervisor_events_total", "counter",
+                "Supervisor lifecycle events since it started.", events),
+            prometheus.make_family(
+                "repro_fleet_supervisor_breaker_open", "gauge",
+                "1 while the crash-loop circuit breaker is open.",
+                [({}, 1 if state.get("breaker_open") else 0)]),
+            prometheus.make_family(
+                "repro_fleet_supervisor_breaker_trips_total", "counter",
+                "Times the crash-loop circuit breaker opened.",
+                [({}, float(state.get("breaker_trips", 0)))]),
+        ]
 
     def render_metrics(self) -> str:
         """``GET /metrics``: Prometheus text exposition format."""
@@ -591,10 +624,31 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return parts[0]
         return "other"
 
+    def _check_auth(self, parts: List[str]) -> None:
+        """Enforce the shared-secret bearer token, when one is set.
+
+        ``/healthz`` and ``/metrics`` stay open: liveness probes and
+        metric scrapers are infrastructure, and neither leaks scenario
+        payloads.  The comparison is constant-time so the token cannot
+        be guessed byte by byte off response latency.
+        """
+        token = self.service.auth_token
+        if token is None or (parts and parts[0] in OPEN_ROUTES):
+            return
+        provided = self.headers.get("Authorization", "")
+        expected = f"Bearer {token}"
+        if hmac.compare_digest(provided.encode("utf-8"),
+                               expected.encode("utf-8")):
+            return
+        _TM_AUTH_FAILURES.inc()
+        raise ApiError(401, "missing or invalid bearer token",
+                       headers={"WWW-Authenticate": "Bearer"})
+
     def _route(self, method: str, path: str) -> bool:
         service = self.service
         parts = [p for p in path.split("/") if p]
         _TM_REQUESTS.labels(self._route_label(method, parts)).inc()
+        self._check_auth(parts)
         if method == "POST" and parts == ["scenarios"]:
             status, document = service.submit_scenario(self._read_body())
             self._send_json(status, document)

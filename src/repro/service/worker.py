@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Optional
 
+from repro import wire
 from repro.campaign.cache import ResultCache, context_hash
 from repro.campaign.execution import execute_scenario
 from repro.campaign.scenario import Scenario
@@ -99,10 +100,17 @@ class QueueWorker:
         Returns whether the ack was accepted -- ``False`` means the
         lease expired under us and the redelivered execution wins.
         """
-        context = job.context or {}
-        base_options = context.get("base_options")
-        timeout = context.get("timeout")
-        sample_points = int(context.get("sample_points", 101))
+        try:
+            context = wire.decode_job_context(job.context)
+        except wire.WireError as exc:
+            # a malformed context is a permanently bad job, not a crash
+            self.broker.nack(job.id, self.worker_id,
+                             f"invalid job context: {exc}", requeue=False)
+            _TM_JOBS.labels("rejected").inc()
+            return False
+        base_options = context.base_options
+        timeout = context.timeout
+        sample_points = context.sample_points
 
         outcome = self._cached_outcome(job.payload, base_options, sample_points)
         if outcome is not None:
@@ -148,21 +156,26 @@ class QueueWorker:
     # -- fleet telemetry ---------------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
-        """This worker's published document: identity, state, metrics."""
-        return {
-            "worker_id": self.worker_id,
-            "pid": os.getpid(),
-            "busy": self.current_job_id is not None,
-            "current_job": self.current_job_id,
-            "started_at": self.started_at,
-            "num_executed": self.num_executed,
-            "num_cache_hits": self.num_cache_hits,
+        """This worker's published document: identity, state, metrics.
+
+        Encoded as a :class:`repro.wire.WorkerSnapshot` so every reader
+        (front end, supervisor, dashboards) validates one schema instead
+        of spelunking an ad-hoc dict.
+        """
+        return wire.encode(wire.WorkerSnapshot(
+            worker_id=self.worker_id,
+            pid=os.getpid(),
+            busy=self.current_job_id is not None,
+            current_job=self.current_job_id,
+            started_at=self.started_at,
+            num_executed=self.num_executed,
+            num_cache_hits=self.num_cache_hits,
             # the whole process registry: worker loop metrics AND the
             # integrator/LU/reuse counters incremented by the simulations
             # this process ran -- this is how per-worker integrator
             # telemetry reaches the front end's /metrics
-            "metrics": REGISTRY.snapshot(),
-        }
+            metrics=REGISTRY.snapshot(),
+        ))
 
     def publish(self, force: bool = False) -> None:
         """Publish the metrics snapshot into the broker (rate-limited)."""

@@ -9,13 +9,18 @@ Modes
 * ``--plain``          force the plain loop even if Textual is available
 
 ``--once`` / ``--json`` need no TTY and no third-party packages, which
-is what makes the dashboard CI-testable.
+is what makes the dashboard CI-testable.  With ``--alert-queue-depth``
+/ ``--alert-heartbeat-age``, ``--once`` doubles as a health probe: it
+exits 2 (one reason line on stderr) when a threshold is violated, so a
+cron line or CI step can page on a backed-up queue or a silent worker.
+Exit 1 still means "service unreachable".
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -45,6 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --once: print the snapshot as JSON")
     parser.add_argument("--plain", action="store_true",
                         help="force the plain-text loop (skip Textual)")
+    parser.add_argument("--token", default=None,
+                        help="bearer token for a service running with "
+                             "--auth-token (default: $REPRO_SERVICE_TOKEN)")
+    parser.add_argument("--alert-queue-depth", type=int, default=None,
+                        metavar="N",
+                        help="with --once: exit 2 if more than N jobs "
+                             "are queued")
+    parser.add_argument("--alert-heartbeat-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --once: exit 2 if any published worker "
+                             "heartbeat is older than SECONDS")
     return parser
 
 
@@ -52,7 +68,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.as_json and not args.once:
         build_parser().error("--json requires --once")
-    client = WatchClient(args.url, timeout=args.timeout)
+    has_alerts = args.alert_queue_depth is not None or \
+        args.alert_heartbeat_age is not None
+    if has_alerts and not args.once:
+        build_parser().error("--alert-* thresholds require --once")
+    token = args.token if args.token is not None \
+        else os.environ.get("REPRO_SERVICE_TOKEN")
+    client = WatchClient(args.url, timeout=args.timeout, token=token)
 
     if args.once:
         snap = client.poll()
@@ -61,7 +83,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              default=repr))
         else:
             sys.stdout.write(render_snapshot(snap))
-        return 0 if snap.healthy else 1
+        if not snap.healthy:
+            return 1
+        alerts = snap.alerts(max_queue_depth=args.alert_queue_depth,
+                             max_heartbeat_age=args.alert_heartbeat_age)
+        for line in alerts:
+            print(f"ALERT: {line}", file=sys.stderr)
+        return 2 if alerts else 0
 
     use_tui = (not args.plain and textual_available()
                and sys.stdout.isatty())

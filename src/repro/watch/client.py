@@ -84,6 +84,38 @@ class FleetSnapshot:
             out["worker_cache_hit"] = worker_hits / handled
         return out
 
+    @property
+    def fleet(self) -> Optional[Dict[str, object]]:
+        """The supervisor state from ``/stats["fleet"]`` (None when no
+        supervisor is attached to the broker, or its state went stale)."""
+        state = self.stats.get("fleet")
+        return dict(state) if isinstance(state, dict) else None
+
+    def alerts(self, max_queue_depth: Optional[int] = None,
+               max_heartbeat_age: Optional[float] = None) -> List[str]:
+        """Threshold violations in this snapshot, one line each.
+
+        Backs ``python -m repro.watch --once --alert-*``: an empty list
+        means all configured thresholds hold.  An unreachable service is
+        not an alert (it is already exit 1 / ``healthy=False``).
+        """
+        out: List[str] = []
+        if not self.healthy:
+            return out
+        if max_queue_depth is not None:
+            queued = self.queue["queued"]
+            if queued > max_queue_depth:
+                out.append(f"queue depth {queued} exceeds "
+                           f"--alert-queue-depth {max_queue_depth}")
+        if max_heartbeat_age is not None:
+            for worker_id in sorted(self.workers):
+                age = self.workers[worker_id].get("heartbeat_age_seconds")
+                if age is not None and float(age) > max_heartbeat_age:
+                    out.append(
+                        f"worker {worker_id} heartbeat is {float(age):.0f}s "
+                        f"old (--alert-heartbeat-age {max_heartbeat_age:g})")
+        return out
+
     def to_dict(self) -> Dict[str, object]:
         """JSON document printed by ``python -m repro.watch --once --json``."""
         return {
@@ -105,9 +137,13 @@ class FleetSnapshot:
 class WatchClient:
     """Polls one service front end and digests fleet snapshots."""
 
-    def __init__(self, url: str, timeout: float = 10.0):
+    def __init__(self, url: str, timeout: float = 10.0,
+                 token: Optional[str] = None):
         self.url = url.rstrip("/")
         self.timeout = float(timeout)
+        #: bearer token sent as ``Authorization`` on every request, for
+        #: services running behind ``serve --auth-token``
+        self.token = token
         #: (ts, cumulative totals) readings the rate derivation diffs
         self._readings: Deque[Tuple[float, Dict[str, float]]] = deque(
             maxlen=HISTORY_LENGTH + 1)
@@ -115,8 +151,12 @@ class WatchClient:
 
     # -- transport ---------------------------------------------------------------------
 
+    def _headers(self) -> Dict[str, str]:
+        return {"Authorization": f"Bearer {self.token}"} if self.token else {}
+
     def _fetch(self, path: str) -> bytes:
-        request = urllib.request.Request(self.url + path)
+        request = urllib.request.Request(self.url + path,
+                                         headers=self._headers())
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                 return resp.read()
@@ -151,7 +191,8 @@ class WatchClient:
             -> Iterator[Dict[str, object]]:
         """Yield NDJSON events of one campaign stream as they land."""
         request = urllib.request.Request(
-            f"{self.url}/campaigns/{campaign_id}/stream")
+            f"{self.url}/campaigns/{campaign_id}/stream",
+            headers=self._headers())
         try:
             with urllib.request.urlopen(
                     request, timeout=timeout or self.timeout) as response:

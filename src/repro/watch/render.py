@@ -111,6 +111,24 @@ def render_snapshot(snap: FleetSnapshot, now: Optional[float] = None,
         lines.append(f"  {label:>7} {_rate(snap.rates.get(key)):>8}  "
                      f"{sparkline(series, spark_width)}")
 
+    # -- fleet supervisor (only when one is attached to the broker) --------------------
+    fleet = snap.fleet
+    if fleet:
+        lines.append("")
+        breaker = "OPEN" if fleet.get("breaker_open") else "closed"
+        lines.append(
+            f"fleet   supervisor {fleet.get('supervisor_id', '?')}: "
+            f"{fleet.get('live_workers', 0)} live "
+            f"(floor {fleet.get('worker_floor', 0)}, "
+            f"ceiling {fleet.get('worker_ceiling', 0)}); "
+            f"{fleet.get('spawns', 0)} spawned, "
+            f"{fleet.get('retires', 0)} retired, "
+            f"{fleet.get('crashes', 0)} crashed, "
+            f"{fleet.get('zombies_reaped', 0)} reaped; breaker {breaker}")
+        if fleet.get("last_action"):
+            lines.append(f"        last: {fleet['last_action']} "
+                         f"({fleet.get('last_reason', '')})")
+
     # -- workers -----------------------------------------------------------------------
     lines.append("")
     lines.append(f"workers ({len(snap.workers)})")

@@ -194,6 +194,57 @@ class TestAgainstFakeFrontEnd:
         assert document["queue"]["done"] == 40
 
 
+class TestAlerts:
+    def test_thresholds_hold_on_a_quiet_fleet(self, fake):
+        snap = WatchClient(fake.url).poll()
+        assert snap.alerts(max_queue_depth=3, max_heartbeat_age=60.0) == []
+
+    def test_queue_depth_violation_names_the_numbers(self, fake):
+        snap = WatchClient(fake.url).poll()
+        alerts = snap.alerts(max_queue_depth=2)
+        assert len(alerts) == 1
+        assert "queue depth 3" in alerts[0]
+
+    def test_stale_heartbeat_names_the_worker(self, fake):
+        snap = WatchClient(fake.url).poll()
+        alerts = snap.alerts(max_heartbeat_age=30.0)
+        assert len(alerts) == 1
+        assert "host:2" in alerts[0]
+
+    def test_unreachable_service_is_not_an_alert(self):
+        snap = WatchClient("http://127.0.0.1:9", timeout=0.5).poll()
+        assert snap.alerts(max_queue_depth=0, max_heartbeat_age=0.0) == []
+
+
+class TestFleetSection:
+    def test_no_supervisor_no_fleet_line(self, fake):
+        snap = WatchClient(fake.url).poll()
+        assert snap.fleet is None
+        assert "\nfleet " not in render_snapshot(snap)
+
+    def test_supervisor_state_renders_one_line(self, fake):
+        snap = WatchClient(fake.url).poll()
+        snap.stats = dict(snap.stats)
+        snap.stats["fleet"] = {
+            "supervisor_id": "host:99", "live_workers": 2,
+            "worker_floor": 0, "worker_ceiling": 4,
+            "spawns": 5, "retires": 3, "crashes": 1, "zombies_reaped": 0,
+            "breaker_open": False, "last_action": "hold",
+            "last_reason": "2 worker(s) cover queue depth 3",
+        }
+        text = render_snapshot(snap)
+        assert "fleet   supervisor host:99: 2 live" in text
+        assert "5 spawned, 3 retired, 1 crashed" in text
+        assert "breaker closed" in text
+        assert "last: hold" in text
+
+    def test_open_breaker_is_shouted(self, fake):
+        snap = WatchClient(fake.url).poll()
+        snap.stats = dict(snap.stats)
+        snap.stats["fleet"] = {"supervisor_id": "h:1", "breaker_open": True}
+        assert "breaker OPEN" in render_snapshot(snap)
+
+
 class TestCliAgainstRealServer:
     def run_watch(self, *argv):
         env = dict(os.environ)
@@ -229,3 +280,36 @@ class TestCliAgainstRealServer:
         proc = self.run_watch("--json")
         assert proc.returncode == 2
         assert "--json requires --once" in proc.stderr
+
+    def test_alert_flags_require_once(self):
+        proc = self.run_watch("--alert-queue-depth", "5")
+        assert proc.returncode == 2
+        assert "--alert-* thresholds require --once" in proc.stderr
+
+    def test_alert_violation_exits_2_with_reason(self, fake):
+        proc = self.run_watch("--once", "--url", fake.url,
+                              "--alert-queue-depth", "2")
+        assert proc.returncode == 2, proc.stderr
+        assert "ALERT: queue depth 3" in proc.stderr
+
+    def test_alert_thresholds_holding_exit_0(self, fake):
+        proc = self.run_watch("--once", "--url", fake.url,
+                              "--alert-queue-depth", "3",
+                              "--alert-heartbeat-age", "60")
+        assert proc.returncode == 0, proc.stderr
+        assert "ALERT" not in proc.stderr
+
+    def test_token_is_sent_as_bearer_auth(self, tmp_path):
+        server = ServiceServer(data_dir=tmp_path / "svc",
+                               poll_interval=0.05, auth_token="hunter2")
+        server.start()
+        try:
+            denied = self.run_watch("--once", "--url", server.url)
+            # /metrics stays open but /stats bounces: the poll degrades
+            assert denied.returncode == 1
+            allowed = self.run_watch("--once", "--json", "--url", server.url,
+                                     "--token", "hunter2")
+            assert allowed.returncode == 0, allowed.stderr
+            assert json.loads(allowed.stdout)["healthy"] is True
+        finally:
+            server.shutdown()
